@@ -1,0 +1,43 @@
+//! Criterion bench: expander decomposition (Experiment E1's engine).
+//!
+//! Benchmarks the sequential reference construction — paper-faithful φ and
+//! the adaptive variant — across families and sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcg_expander::decomp;
+use lcg_graph::gen;
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expander_decomposition");
+    group.sample_size(10);
+    let mut rng = gen::seeded_rng(0xBE1);
+    for n in [256usize, 1024] {
+        let planar = gen::stacked_triangulation(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("paper_phi/planar", n), &planar, |b, g| {
+            b.iter(|| decomp::decompose(g, 0.1))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("adaptive_phi/planar", n),
+            &planar,
+            |b, g| b.iter(|| decomp::decompose_adaptive(g, 0.1)),
+        );
+        let kt = gen::partial_ktree(n, 3, 0.5, &mut rng);
+        group.bench_with_input(BenchmarkId::new("adaptive_phi/3tree", n), &kt, |b, g| {
+            b.iter(|| decomp::decompose_adaptive(g, 0.1))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("spectral_sweep");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let g = gen::stacked_triangulation(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("lambda2", n), &g, |b, g| {
+            b.iter(|| lcg_expander::spectral::lambda2(g, 1e-9, 4000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposition);
+criterion_main!(benches);

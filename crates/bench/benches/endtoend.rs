@@ -1,0 +1,45 @@
+//! Criterion bench: end-to-end theorem pipelines (framework + leaders +
+//! broadcast) on planar networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcg_core::apps::{maxis, mcm, property_testing};
+use lcg_core::framework::{run_framework, FrameworkConfig};
+use lcg_graph::gen;
+
+fn bench_endtoend(c: &mut Criterion) {
+    let mut rng = gen::seeded_rng(0xBEE);
+    let mut group = c.benchmark_group("theorem_pipelines");
+    group.sample_size(10);
+
+    for n in [100usize, 200] {
+        let g = gen::random_planar(n, 0.5, &mut rng);
+        group.bench_with_input(BenchmarkId::new("framework_2_6", n), &g, |b, g| {
+            b.iter(|| run_framework(g, &FrameworkConfig::planar(0.3, 1)).stats.rounds)
+        });
+        group.bench_with_input(BenchmarkId::new("thm_1_2_maxis", n), &g, |b, g| {
+            b.iter(|| {
+                maxis::approx_maximum_independent_set(g, 0.3, 3.0, 1, 50_000_000)
+                    .set
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("thm_3_2_mcm", n), &g, |b, g| {
+            b.iter(|| mcm::approx_maximum_matching(g, 0.3, 1).size)
+        });
+        group.bench_with_input(BenchmarkId::new("thm_1_4_planarity", n), &g, |b, g| {
+            b.iter(|| {
+                property_testing::test_property(
+                    g,
+                    0.1,
+                    property_testing::TestedProperty::Planar,
+                    1,
+                )
+                .all_accept
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: Lemma 2.4 random-walk routing and the deterministic
+//! tree routing (Experiment E3's engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcg_bench::workloads::wheel;
+use lcg_expander::routing;
+use lcg_graph::gen;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expander_routing");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let g = wheel(n);
+        let members: Vec<usize> = (0..n).collect();
+        let leader = n - 1;
+        group.bench_with_input(BenchmarkId::new("walk/wheel", n), &g, |b, g| {
+            let mut rng = gen::seeded_rng(0xBE3);
+            b.iter(|| {
+                let out =
+                    routing::random_walk_routing(g, &members, leader, 10_000_000, &mut rng);
+                assert!(out.complete());
+                out.rounds
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tree/wheel", n), &g, |b, g| {
+            b.iter(|| routing::tree_routing(g, &members, leader).rounds)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: the cluster leaders' sequential solvers (Experiments
+//! E4–E7's inner loops).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcg_graph::gen;
+use lcg_solvers::{corrclust, ldd, matching, mis, mwm};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut rng = gen::seeded_rng(0xBE5);
+
+    let mut group = c.benchmark_group("leader_solvers");
+    group.sample_size(10);
+
+    for n in [100usize, 300] {
+        let g = gen::stacked_triangulation(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("blossom_mcm/planar", n), &g, |b, g| {
+            b.iter(|| matching::maximum_matching(g).size())
+        });
+    }
+
+    for n in [60usize, 120] {
+        let g = gen::random_weights(gen::stacked_triangulation(n, &mut rng), 1000, &mut rng);
+        group.bench_with_input(BenchmarkId::new("galil_mwm/planar", n), &g, |b, g| {
+            b.iter(|| mwm::matching_weight(g, &mwm::maximum_weight_matching(g)))
+        });
+    }
+
+    for n in [60usize, 120] {
+        let g = gen::random_planar(n, 0.5, &mut rng);
+        group.bench_with_input(BenchmarkId::new("exact_mis/planar", n), &g, |b, g| {
+            b.iter(|| mis::maximum_independent_set(g, 100_000_000).set.len())
+        });
+    }
+
+    {
+        let g = gen::random_labels(gen::random_planar(16, 0.5, &mut rng), 0.5, &mut rng);
+        group.bench_with_input(BenchmarkId::new("exact_corrclust", 16), &g, |b, g| {
+            b.iter(|| corrclust::exact_clustering(g, 100_000_000).unwrap().score)
+        });
+    }
+
+    for n in [200usize, 800] {
+        let g = gen::stacked_triangulation(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("kpr_ldd/planar", n), &g, |b, g| {
+            let mut r = gen::seeded_rng(7);
+            b.iter(|| ldd::minor_free_ldd(g, 0.3, &mut r).k)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Experiment driver: regenerates any table in EXPERIMENTS.md.
+//!
+//! ```text
+//! experiments all                # every experiment, full scale
+//! experiments e4 e9 --quick      # selected experiments, CI scale
+//! experiments all --json out/    # also dump JSON per table
+//! ```
+
+use std::io::Write;
+
+use lcg_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| json_dir.as_deref() != Some(a.as_str()))
+        .cloned()
+        .collect();
+    let registry = experiments::all();
+    let run_all = selected.is_empty() || selected.iter().any(|s| s == "all");
+    let mut ran = 0;
+    for (id, f) in &registry {
+        if !run_all && !selected.iter().any(|s| s == id) {
+            continue;
+        }
+        eprintln!(">>> running {id} ({scale:?})...");
+        let started = std::time::Instant::now();
+        let tables = f(scale);
+        for t in &tables {
+            t.print();
+            if let Some(dir) = &json_dir {
+                std::fs::create_dir_all(dir).expect("create json dir");
+                let path = format!("{dir}/{}.json", t.id.to_lowercase());
+                let mut f = std::fs::File::create(&path).expect("create json file");
+                write!(f, "{}", serde_json::to_string_pretty(t).unwrap()).unwrap();
+            }
+        }
+        eprintln!("<<< {id} done in {:.1}s\n", started.elapsed().as_secs_f64());
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched; available: e1..e12, all");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Minimal table type: aligned console printing + JSON serialization.
+
+use serde::Serialize;
+
+/// A labeled table of string cells.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id ("E4") and caption.
+    pub id: String,
+    /// Caption describing the claim under test.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, caption: &str, headers: &[&str]) -> Table {
+        Table {
+            id: id.to_string(),
+            caption: caption.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = format!("## {} — {}\n", self.id, self.caption);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Shorthand for building a row of heterogeneous cells.
+#[macro_export]
+macro_rules! cells {
+    ($($x:expr),* $(,)?) => {
+        vec![$(format!("{}", $x)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E0", "demo", &["n", "value"]);
+        t.row(cells!(10, 3.25));
+        t.row(cells!(1000, 0.5));
+        let s = t.render();
+        assert!(s.contains("E0"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_bad_row() {
+        let mut t = Table::new("E0", "demo", &["a"]);
+        t.row(cells!(1, 2));
+    }
+}

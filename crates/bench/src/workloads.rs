@@ -1,0 +1,128 @@
+//! Shared experiment workloads: the graph families every experiment
+//! sweeps, with fixed seeds for reproducibility.
+
+use lcg_graph::{gen, Graph, GraphBuilder};
+use rand_chacha::ChaCha8Rng;
+
+/// The minor-closed families the paper names, plus the counterexample
+/// families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Random planar (subsampled stacked triangulation).
+    Planar,
+    /// Maximal planar (stacked triangulation).
+    MaximalPlanar,
+    /// Random partial 3-tree (treewidth ≤ 3).
+    Ktree3,
+    /// Toroidal grid (genus 1, not planar).
+    Torus,
+    /// Hypercube (NOT minor-free: the tightness example).
+    Hypercube,
+}
+
+impl Family {
+    /// Human name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Planar => "planar",
+            Family::MaximalPlanar => "max-planar",
+            Family::Ktree3 => "3-tree",
+            Family::Torus => "torus",
+            Family::Hypercube => "hypercube",
+        }
+    }
+
+    /// Edge-density bound `t` of the class (Theorem 2.6 parameter).
+    pub fn density_bound(&self) -> f64 {
+        match self {
+            Family::Planar | Family::MaximalPlanar => 3.0,
+            Family::Ktree3 => 3.0,
+            Family::Torus => 4.0,
+            Family::Hypercube => 16.0, // not actually bounded; placeholder
+        }
+    }
+
+    /// Generates an n-vertex (approximately, exact for most) instance.
+    pub fn generate(&self, n: usize, rng: &mut ChaCha8Rng) -> Graph {
+        match self {
+            Family::Planar => gen::random_planar(n.max(3), 0.55, rng),
+            Family::MaximalPlanar => gen::stacked_triangulation(n.max(3), rng),
+            Family::Ktree3 => gen::partial_ktree(n.max(4), 3, 0.5, rng),
+            Family::Torus => {
+                let side = (n as f64).sqrt().round().max(3.0) as usize;
+                gen::torus_grid(side, side)
+            }
+            Family::Hypercube => {
+                let d = (n as f64).log2().round().max(2.0) as u32;
+                gen::hypercube(d)
+            }
+        }
+    }
+}
+
+/// Planar "wheel-like" graphs: a triangulated cycle with a hub — planar,
+/// constant conductance, hub degree Θ(n). The ideal Lemma 2.4 testbed
+/// (expander cluster with the guaranteed high-degree vertex).
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel needs at least 4 vertices");
+    let rim = n - 1;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..rim {
+        b.add_edge(i, (i + 1) % rim);
+        b.add_edge(i, n - 1); // hub
+    }
+    b.build()
+}
+
+/// Pendant-heavy planar graph: triangulation core plus `p` pendants (the
+/// Theorem 3.2 adversarial matching workload).
+pub fn pendant_planar(core: usize, pendants: usize, rng: &mut ChaCha8Rng) -> Graph {
+    use rand::Rng;
+    let base = gen::stacked_triangulation(core.max(3), rng);
+    let mut b = GraphBuilder::new(core + pendants);
+    for (_, u, v) in base.edges() {
+        b.add_edge(u, v);
+    }
+    for i in 0..pendants {
+        b.add_edge(core + i, rng.gen_range(0..core));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcg_graph::planarity;
+
+    #[test]
+    fn families_generate() {
+        let mut rng = gen::seeded_rng(1);
+        for f in [
+            Family::Planar,
+            Family::MaximalPlanar,
+            Family::Ktree3,
+            Family::Torus,
+            Family::Hypercube,
+        ] {
+            let g = f.generate(128, &mut rng);
+            assert!(g.n() >= 64, "{} too small", f.name());
+        }
+    }
+
+    #[test]
+    fn wheel_is_planar_high_conductance() {
+        let g = wheel(64);
+        assert!(planarity::is_planar(&g));
+        assert_eq!(g.degree(63), 63);
+        let s = lcg_expander::spectral::lambda2(&g, 1e-8, 5000);
+        assert!(s.conductance_lower_bound() > 0.05);
+    }
+
+    #[test]
+    fn pendant_planar_is_planar() {
+        let mut rng = gen::seeded_rng(2);
+        let g = pendant_planar(50, 100, &mut rng);
+        assert!(planarity::is_planar(&g));
+        assert_eq!(g.n(), 150);
+    }
+}

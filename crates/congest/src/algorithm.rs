@@ -1,0 +1,194 @@
+//! Trait-based node programs: the "vertex-centric" API of Pregel-style
+//! systems the paper's introduction motivates (each node runs the same
+//! code against its local state).
+//!
+//! The closure-based [`Network::exchange`] engine is what the framework
+//! uses internally; this module offers the stricter encapsulation — a
+//! [`NodeProgram`] owns per-node state and *cannot* observe other nodes —
+//! for user algorithms and for the baselines.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::network::{Inbox, Network, Outbox};
+
+/// Immutable per-node context handed to a [`NodeProgram`].
+#[derive(Debug)]
+pub struct NodeCtx {
+    /// This node's id (the paper's `ID(v)`; CONGEST assumes unique
+    /// O(log n)-bit ids).
+    pub id: usize,
+    /// Number of ports (= degree). Port `p` leads to the `p`-th neighbor
+    /// in sorted order, but the program is *not* told the neighbor's id —
+    /// discovering it costs a round, as in the real model.
+    pub ports: usize,
+    /// Number of nodes in the network (commonly assumed global knowledge).
+    pub n: usize,
+    /// Private per-node randomness (deterministically seeded).
+    pub rng: ChaCha8Rng,
+}
+
+/// A synchronous distributed algorithm, one instance per node.
+pub trait NodeProgram {
+    /// Final output of each node.
+    type Output;
+
+    /// One synchronous round: inspect last round's inbox, write this
+    /// round's outbox. Return `false` to (locally) halt: a halted node
+    /// sends nothing but still receives.
+    fn round(&mut self, ctx: &mut NodeCtx, round: usize, inbox: &Inbox, out: &mut Outbox) -> bool;
+
+    /// Extract the node's output after the run.
+    fn output(&self, ctx: &NodeCtx) -> Self::Output;
+}
+
+/// Runs one [`NodeProgram`] instance per node until every node has halted
+/// or `max_rounds` elapses. Returns per-node outputs.
+///
+/// # Panics
+///
+/// Panics if `programs.len() != n`.
+pub fn run_programs<P: NodeProgram>(
+    net: &mut Network,
+    mut programs: Vec<P>,
+    seed: u64,
+    max_rounds: usize,
+) -> Vec<P::Output> {
+    let n = net.graph().n();
+    assert_eq!(programs.len(), n, "one program per node");
+    let mut ctxs: Vec<NodeCtx> = (0..n)
+        .map(|v| NodeCtx {
+            id: v,
+            ports: net.graph().degree(v),
+            n,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ (v as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+        })
+        .collect();
+    let mut running = vec![true; n];
+    let mut inboxes: Vec<Vec<Option<crate::network::Message>>> =
+        (0..n).map(|v| vec![None; net.graph().degree(v)]).collect();
+    for round in 0..max_rounds {
+        if running.iter().all(|&r| !r) {
+            break;
+        }
+        let mut next_running = running.clone();
+        let prev_inboxes = std::mem::replace(
+            &mut inboxes,
+            (0..n).map(|v| vec![None; net.graph().degree(v)]).collect(),
+        );
+        // one exchange: send phase runs the programs, recv phase stores
+        // the inboxes for the next round.
+        net.exchange(
+            |v, out| {
+                if running[v] {
+                    let keep = programs[v].round(&mut ctxs[v], round, &prev_inboxes[v], out);
+                    if !keep {
+                        next_running[v] = false;
+                    }
+                }
+            },
+            |v, inbox| {
+                for (p, m) in inbox.iter().enumerate() {
+                    inboxes[v][p] = m.clone();
+                }
+            },
+        );
+        running = next_running;
+    }
+    programs
+        .iter()
+        .zip(&ctxs)
+        .map(|(p, c)| p.output(c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use lcg_graph::gen;
+
+    /// Each node learns the maximum id in the network by flooding.
+    struct MaxIdFlood {
+        best: u64,
+        changed: bool,
+    }
+
+    impl NodeProgram for MaxIdFlood {
+        type Output = u64;
+
+        fn round(&mut self, ctx: &mut NodeCtx, round: usize, inbox: &Inbox, out: &mut Outbox) -> bool {
+            if round == 0 {
+                self.best = ctx.id as u64;
+                self.changed = true;
+            }
+            for m in inbox.iter().flatten() {
+                if m[0] > self.best {
+                    self.best = m[0];
+                    self.changed = true;
+                }
+            }
+            if self.changed {
+                for p in 0..ctx.ports {
+                    out.send(p, vec![self.best]);
+                }
+                self.changed = false;
+            }
+            true
+        }
+
+        fn output(&self, _ctx: &NodeCtx) -> u64 {
+            self.best
+        }
+    }
+
+    #[test]
+    fn max_id_flood_converges() {
+        let g = gen::grid(6, 6);
+        let mut net = Network::new(&g, Model::congest());
+        let programs: Vec<MaxIdFlood> = (0..g.n())
+            .map(|_| MaxIdFlood { best: 0, changed: false })
+            .collect();
+        let outs = run_programs(&mut net, programs, 7, 50);
+        assert!(outs.iter().all(|&b| b == 35));
+        assert!(net.stats().max_words_edge_round <= 2);
+    }
+
+    /// Local coin-flip program exercising per-node RNG determinism.
+    struct Coin(Option<bool>);
+
+    impl NodeProgram for Coin {
+        type Output = bool;
+        fn round(&mut self, ctx: &mut NodeCtx, _round: usize, _inbox: &Inbox, _out: &mut Outbox) -> bool {
+            use rand::Rng;
+            self.0 = Some(ctx.rng.gen_bool(0.5));
+            false // halt immediately
+        }
+        fn output(&self, _ctx: &NodeCtx) -> bool {
+            self.0.unwrap()
+        }
+    }
+
+    #[test]
+    fn per_node_rng_is_deterministic() {
+        let g = gen::path(10);
+        let run = |seed| {
+            let mut net = Network::new(&g, Model::congest());
+            run_programs(&mut net, (0..10).map(|_| Coin(None)).collect(), seed, 5)
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2)); // different seeds differ (w.h.p.)
+    }
+
+    #[test]
+    fn halted_nodes_stop_sending() {
+        let g = gen::path(2);
+        let mut net = Network::new(&g, Model::congest());
+        let programs: Vec<Coin> = (0..2).map(|_| Coin(None)).collect();
+        run_programs(&mut net, programs, 3, 10);
+        // Coin halts in round 0 and never sends: only 1 round executed
+        // (the all-halted check stops the loop).
+        assert_eq!(net.stats().rounds, 1);
+        assert_eq!(net.stats().messages, 0);
+    }
+}

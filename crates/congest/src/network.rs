@@ -1,0 +1,383 @@
+//! The synchronous message-passing engine.
+//!
+//! A [`Network`] wraps a graph and a [`Model`] and executes synchronous
+//! rounds. Algorithms are written as *step closures*: in each round the
+//! closure is invoked once per vertex with the vertex's inbox (one optional
+//! message per port, as in the standard CONGEST definition where each edge
+//! carries at most one message per direction per round) and returns the
+//! outbox. The engine enforces the model's per-edge capacity — an oversized
+//! send in CONGEST mode panics, so a test passing is a proof that the
+//! algorithm really fit its messages into `O(log n)` bits.
+
+use lcg_graph::Graph;
+
+use crate::model::Model;
+use crate::stats::RoundStats;
+
+/// A message: a small vector of 64-bit words.
+pub type Message = Vec<u64>;
+
+/// Inbox of one vertex: `inbox[port]` is the message received on that port
+/// this round, if any. Port `p` of vertex `v` is the `p`-th entry of
+/// `Graph::neighbors(v)` (sorted by neighbor id).
+pub type Inbox = [Option<Message>];
+
+/// A synchronous CONGEST/LOCAL network over a graph.
+///
+/// # Examples
+///
+/// One round of "send your id to all neighbors":
+///
+/// ```
+/// use lcg_congest::{Model, Network};
+/// use lcg_graph::gen;
+///
+/// let g = gen::cycle(5);
+/// let mut net = Network::new(&g, Model::congest());
+/// net.step(|v, _inbox, out| {
+///     for p in 0..out.ports() {
+///         out.send(p, vec![v as u64]);
+///     }
+/// });
+/// let stats = net.stats();
+/// assert_eq!(stats.rounds, 1);
+/// assert_eq!(stats.messages, 10); // 2 per vertex
+/// ```
+pub struct Network<'g> {
+    g: &'g Graph,
+    model: Model,
+    stats: RoundStats,
+    /// `pending[v][p]`: message awaiting delivery to `v` on port `p`.
+    pending: Vec<Vec<Option<Message>>>,
+    /// `reverse[v][p] = (u, q)`: port `p` of `v` is port `q` of neighbor `u`.
+    reverse: Vec<Vec<(usize, usize)>>,
+}
+
+/// Per-vertex outbox handed to the step closure.
+pub struct Outbox<'a> {
+    slots: &'a mut [Option<Message>],
+    capacity: Option<usize>,
+    vertex: usize,
+}
+
+impl<'a> Outbox<'a> {
+    /// Number of ports (the vertex degree).
+    pub fn ports(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Sends `msg` on `port`. In CONGEST mode the message must fit the
+    /// per-edge word capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message exceeds the model capacity (a CONGEST
+    /// violation — the algorithm under test is buggy), if a message was
+    /// already sent on this port this round, or if the port is out of range.
+    pub fn send(&mut self, port: usize, msg: Message) {
+        if let Some(cap) = self.capacity {
+            assert!(
+                msg.len() <= cap,
+                "CONGEST violation at vertex {}: message of {} words exceeds capacity {}",
+                self.vertex,
+                msg.len(),
+                cap
+            );
+        }
+        assert!(
+            self.slots[port].is_none(),
+            "vertex {} sent twice on port {port} in one round",
+            self.vertex
+        );
+        self.slots[port] = Some(msg);
+    }
+}
+
+impl<'g> Network<'g> {
+    /// Creates a network over `g` under `model`.
+    pub fn new(g: &'g Graph, model: Model) -> Network<'g> {
+        let mut reverse = vec![Vec::new(); g.n()];
+        for v in 0..g.n() {
+            for (p, (u, _)) in g.neighbors(v).enumerate() {
+                // find v's position in u's sorted adjacency
+                let q = g
+                    .neighbors(u)
+                    .position(|(w, _)| w == v)
+                    .expect("adjacency must be symmetric");
+                reverse[v].push((u, q));
+                let _ = p;
+            }
+        }
+        let pending = (0..g.n()).map(|v| vec![None; g.degree(v)]).collect();
+        Network {
+            g,
+            model,
+            stats: RoundStats::default(),
+            pending,
+            reverse,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.g
+    }
+
+    /// The communication model.
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> RoundStats {
+        self.stats
+    }
+
+    /// Resets statistics (e.g. between measured phases).
+    pub fn reset_stats(&mut self) -> RoundStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Executes one synchronous round.
+    ///
+    /// `f(v, inbox, outbox)` is called once per vertex; the inbox holds the
+    /// messages sent to `v` in the previous round. Messages written to the
+    /// outbox are delivered at the *next* round, as in the synchronous
+    /// model.
+    pub fn step<F>(&mut self, mut f: F)
+    where
+        F: FnMut(usize, &Inbox, &mut Outbox),
+    {
+        let n = self.g.n();
+        let cap = self.model.capacity();
+        let inboxes = std::mem::replace(
+            &mut self.pending,
+            (0..n).map(|v| vec![None; self.g.degree(v)]).collect(),
+        );
+        let mut outgoing: Vec<Vec<Option<Message>>> =
+            (0..n).map(|v| vec![None; self.g.degree(v)]).collect();
+        for (v, (inbox, slots)) in inboxes.iter().zip(outgoing.iter_mut()).enumerate() {
+            let mut out = Outbox {
+                slots,
+                capacity: cap,
+                vertex: v,
+            };
+            f(v, inbox, &mut out);
+        }
+        // route and account
+        let mut max_words = self.stats.max_words_edge_round;
+        for v in 0..n {
+            for (p, slot) in outgoing[v].iter_mut().enumerate() {
+                if let Some(msg) = slot.take() {
+                    self.stats.messages += 1;
+                    self.stats.words += msg.len() as u64;
+                    max_words = max_words.max(msg.len());
+                    let (u, q) = self.reverse[v][p];
+                    self.pending[u][q] = Some(msg);
+                }
+            }
+        }
+        self.stats.max_words_edge_round = max_words;
+        self.stats.rounds += 1;
+    }
+
+    /// Runs `rounds` rounds of the same step closure.
+    pub fn run<F>(&mut self, rounds: usize, mut f: F)
+    where
+        F: FnMut(usize, &Inbox, &mut Outbox),
+    {
+        for _ in 0..rounds {
+            self.step(&mut f);
+        }
+    }
+
+    /// Executes one synchronous round with the *standard* round structure:
+    /// every vertex first composes its outgoing messages from its current
+    /// state (`send`), then all messages are delivered and processed
+    /// (`recv`) — so information travels one hop per round, exactly as in
+    /// the textbook CONGEST definition.
+    ///
+    /// Do not mix with in-flight [`Network::step`] messages: `exchange`
+    /// ignores the pending buffer (debug builds assert it is empty).
+    pub fn exchange<S, R>(&mut self, mut send: S, mut recv: R)
+    where
+        S: FnMut(usize, &mut Outbox),
+        R: FnMut(usize, &Inbox),
+    {
+        debug_assert!(
+            self.pending.iter().all(|ps| ps.iter().all(Option::is_none)),
+            "exchange called with undelivered step() messages pending"
+        );
+        let n = self.g.n();
+        let cap = self.model.capacity();
+        let mut outgoing: Vec<Vec<Option<Message>>> =
+            (0..n).map(|v| vec![None; self.g.degree(v)]).collect();
+        for (v, slots) in outgoing.iter_mut().enumerate() {
+            let mut out = Outbox {
+                slots,
+                capacity: cap,
+                vertex: v,
+            };
+            send(v, &mut out);
+        }
+        let mut inboxes: Vec<Vec<Option<Message>>> =
+            (0..n).map(|v| vec![None; self.g.degree(v)]).collect();
+        let mut max_words = self.stats.max_words_edge_round;
+        for v in 0..n {
+            for (p, slot) in outgoing[v].iter_mut().enumerate() {
+                if let Some(msg) = slot.take() {
+                    self.stats.messages += 1;
+                    self.stats.words += msg.len() as u64;
+                    max_words = max_words.max(msg.len());
+                    let (u, q) = self.reverse[v][p];
+                    inboxes[u][q] = Some(msg);
+                }
+            }
+        }
+        self.stats.max_words_edge_round = max_words;
+        self.stats.rounds += 1;
+        for (v, inbox) in inboxes.iter().enumerate() {
+            recv(v, inbox);
+        }
+    }
+
+    /// Merges externally-measured statistics into this network's counters
+    /// (used when phases are executed on parallel per-cluster networks and
+    /// their aggregate must be attributed to the main execution).
+    pub fn charge_stats(&mut self, s: &RoundStats) {
+        self.stats.merge(s);
+    }
+
+    /// Charges `rounds` silent rounds (no messages) to the statistics.
+    ///
+    /// Used when an algorithm's specification spends rounds waiting (e.g.
+    /// the fixed `b`-round windows of the §2.3 failure-detection protocol)
+    /// without any traffic in the simulation shortcut.
+    pub fn charge_rounds(&mut self, rounds: u64) {
+        self.stats.rounds += rounds;
+    }
+
+    /// Neighbor vertex on `port` of `v`.
+    pub fn neighbor(&self, v: usize, port: usize) -> usize {
+        self.reverse[v][port].0
+    }
+
+    /// Port of `v` that leads to neighbor `u`, if adjacent.
+    pub fn port_to(&self, v: usize, u: usize) -> Option<usize> {
+        self.g.neighbors(v).position(|(w, _)| w == u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcg_graph::gen;
+
+    #[test]
+    fn messages_delivered_next_round() {
+        let g = gen::path(3);
+        let mut net = Network::new(&g, Model::congest());
+        // round 1: vertex 0 sends 7 to its only neighbor (vertex 1)
+        net.step(|v, inbox, out| {
+            assert!(inbox.iter().all(Option::is_none)); // nothing yet
+            if v == 0 {
+                out.send(0, vec![7]);
+            }
+        });
+        let mut got = None;
+        net.step(|v, inbox, _out| {
+            if v == 1 {
+                let port_from_0 = 0; // neighbor 0 is first in sorted order
+                got = inbox[port_from_0].clone();
+            }
+        });
+        assert_eq!(got, Some(vec![7]));
+        assert_eq!(net.stats().rounds, 2);
+        assert_eq!(net.stats().messages, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "CONGEST violation")]
+    fn oversized_message_panics() {
+        let g = gen::path(2);
+        let mut net = Network::new(&g, Model::Congest { words_per_edge: 1 });
+        net.step(|_, _, out| out.send(0, vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn local_allows_big_messages() {
+        let g = gen::path(2);
+        let mut net = Network::new(&g, Model::Local);
+        net.step(|_, _, out| out.send(0, vec![0; 1000]));
+        assert_eq!(net.stats().max_words_edge_round, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "sent twice")]
+    fn double_send_panics() {
+        let g = gen::path(2);
+        let mut net = Network::new(&g, Model::Local);
+        net.step(|_, _, out| {
+            out.send(0, vec![1]);
+            out.send(0, vec![2]);
+        });
+    }
+
+    #[test]
+    fn ports_are_consistent() {
+        let g = gen::cycle(5);
+        let net = Network::new(&g, Model::congest());
+        for v in 0..5 {
+            for p in 0..2 {
+                let u = net.neighbor(v, p);
+                let q = net.port_to(u, v).unwrap();
+                assert_eq!(net.neighbor(u, q), v);
+            }
+        }
+    }
+
+    #[test]
+    fn flood_reaches_everyone() {
+        let g = gen::grid(6, 6);
+        let mut net = Network::new(&g, Model::congest());
+        let n = g.n();
+        let mut informed = vec![false; n];
+        informed[0] = true;
+        // BFS flood: diameter of 6x6 grid is 10
+        for _ in 0..11 {
+            let snapshot = informed.clone();
+            net.step(|v, inbox, out| {
+                if inbox.iter().any(Option::is_some) {
+                    informed[v] = true;
+                }
+                if snapshot[v] || informed[v] {
+                    for p in 0..out.ports() {
+                        out.send(p, vec![1]);
+                    }
+                }
+            });
+        }
+        assert!(informed.iter().all(|&b| b));
+        // capacity respected throughout
+        assert!(net.stats().max_words_edge_round <= 2);
+    }
+
+    #[test]
+    fn charge_rounds_counts() {
+        let g = gen::path(2);
+        let mut net = Network::new(&g, Model::congest());
+        net.charge_rounds(17);
+        assert_eq!(net.stats().rounds, 17);
+        assert_eq!(net.stats().messages, 0);
+    }
+
+    #[test]
+    fn reset_stats_takes() {
+        let g = gen::path(2);
+        let mut net = Network::new(&g, Model::congest());
+        net.step(|_, _, out| out.send(0, vec![1]));
+        let s = net.reset_stats();
+        assert_eq!(s.rounds, 1);
+        assert_eq!(net.stats().rounds, 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Round/message/congestion accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics accumulated by a [`crate::Network`] execution.
+///
+/// `max_words_edge_round` is the largest message (in 64-bit words) that
+/// crossed any edge in any single round — the quantity the CONGEST model
+/// bounds by `O(log n)` and the LOCAL model does not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Synchronous rounds executed.
+    pub rounds: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total 64-bit words sent.
+    pub words: u64,
+    /// Maximum words over a single edge (one direction) in a single round.
+    pub max_words_edge_round: usize,
+}
+
+impl RoundStats {
+    /// Accumulates another phase's stats (rounds add; maxima take max).
+    pub fn merge(&mut self, other: &RoundStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.words += other.words;
+        self.max_words_edge_round = self.max_words_edge_round.max(other.max_words_edge_round);
+    }
+}
+
+impl std::fmt::Display for RoundStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rounds={} messages={} words={} max_words/edge/round={}",
+            self.rounds, self.messages, self.words, self.max_words_edge_round
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RoundStats {
+            rounds: 3,
+            messages: 10,
+            words: 20,
+            max_words_edge_round: 2,
+        };
+        let b = RoundStats {
+            rounds: 2,
+            messages: 5,
+            words: 40,
+            max_words_edge_round: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.messages, 15);
+        assert_eq!(a.words, 60);
+        assert_eq!(a.max_words_edge_round, 4);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = RoundStats::default().to_string();
+        assert!(s.contains("rounds=0"));
+    }
+}

@@ -1,0 +1,12 @@
+//! The paper's applications (Theorems 1.1–1.5), each built on the
+//! Theorem 2.6 framework.
+
+pub mod corrclust;
+pub mod ldd;
+pub mod maxis;
+pub mod mcm;
+pub mod mds;
+pub mod mwm;
+pub mod property_testing;
+pub mod triangles;
+pub mod wmaxis;

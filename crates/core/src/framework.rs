@@ -1,0 +1,384 @@
+//! **Theorem 2.6** — the paper's core framework.
+//!
+//! Given ε, partition an H-minor-free network so that (i) at most
+//! `ε·min(|V|, |E|)` edges cross clusters, and (ii) each cluster has a
+//! leader `v_i*` that learns the entire topology of `G[V_i]` and can
+//! exchange an `O(log n)`-bit message with every cluster member.
+//!
+//! The phases and their round accounting (every phase that communicates
+//! runs in the `lcg-congest` simulator or is charged its measured cost):
+//!
+//! 1. **Decomposition** (Theorem 2.1, substituted per DESIGN.md): computed
+//!    by the sequential reference algorithm; no rounds are charged and the
+//!    outcome records this (`construction_substituted = true`).
+//! 2. **Leader election** (§2.3 proof): `b` rounds of max-degree flooding
+//!    inside each cluster, `b` = max cluster diameter; real 2-word
+//!    messages.
+//! 3. **Orientation** (Barenboim–Elkin): distributed H-partition peeling,
+//!    one round per layer, so each vertex owns `O(1)` edges to ship.
+//! 4. **Gathering** (Lemma 2.4): every vertex routes `1 + outdeg(v)`
+//!    2-word messages to the leader by lazy random walks; rounds charged
+//!    are the measured per-step maximum edge loads, summed.
+//! 5. **Broadcast** (reversal, as in the paper): charged the same number
+//!    of rounds as gathering.
+
+use lcg_congest::primitives::{self, Scope};
+use lcg_congest::{Model, Network, RoundStats};
+use lcg_expander::decomp::{self, ExpanderDecomposition};
+use lcg_expander::routing;
+use lcg_graph::Graph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of a framework run.
+#[derive(Debug, Clone)]
+pub struct FrameworkConfig {
+    /// The ε of Theorem 2.6 (cut-edge budget, relative to min(|V|, |E|)).
+    pub epsilon: f64,
+    /// Edge-density bound `t` of the minor-closed class (3 for planar,
+    /// 2 for outerplanar, 1 for forests, `k` for treewidth-k, ...). The
+    /// decomposition runs with `ε' = ε / t` exactly as in the theorem.
+    pub density_bound: f64,
+    /// RNG seed (decomposition tie-breaks, routing walks).
+    pub seed: u64,
+    /// Cap on lazy-walk steps per routing execution.
+    pub max_walk_steps: usize,
+    /// Use deterministic tree routing instead of random-walk routing
+    /// (the Lemma 2.5 counterpart).
+    pub deterministic_routing: bool,
+    /// Use the adaptive split threshold (`decompose_adaptive`): same ε
+    /// contract, far better cluster granularity at laptop sizes. Set to
+    /// `false` for the paper-faithful worst-case `φ = Θ(ε/log n)`.
+    pub practical_phi: bool,
+    /// Execute the gathering phase with **real messages** in the simulator
+    /// (`network_walk_routing_with_counts`: every token a 2-word message,
+    /// capacity-enforced) instead of the charged-cost walk. Slower but
+    /// fully message-faithful; Experiment E17 shows the two agree within
+    /// a factor ≈ 2.
+    pub message_faithful: bool,
+}
+
+impl FrameworkConfig {
+    /// Standard configuration for planar inputs.
+    pub fn planar(epsilon: f64, seed: u64) -> FrameworkConfig {
+        FrameworkConfig {
+            epsilon,
+            density_bound: 3.0,
+            seed,
+            max_walk_steps: 2_000_000,
+            deterministic_routing: false,
+            practical_phi: true,
+            message_faithful: false,
+        }
+    }
+
+    /// Configuration for a general H-minor-free class with density `t`.
+    pub fn minor_free(epsilon: f64, density_bound: f64, seed: u64) -> FrameworkConfig {
+        FrameworkConfig {
+            density_bound,
+            ..FrameworkConfig::planar(epsilon, seed)
+        }
+    }
+}
+
+/// One cluster, ready for its leader to solve problems on.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// Cluster id (index into `FrameworkOutcome::clusters`).
+    pub id: usize,
+    /// Host-graph vertices, sorted.
+    pub members: Vec<usize>,
+    /// The elected max-degree leader `v_i*` (host id).
+    pub leader: usize,
+    /// The induced subgraph `G[V_i]` the leader reconstructed.
+    pub subgraph: Graph,
+    /// `mapping[local] = host` vertex translation.
+    pub mapping: Vec<usize>,
+    /// Gathering statistics for this cluster.
+    pub routing: routing::RoutingOutcome,
+}
+
+/// Result of running the Theorem 2.6 framework.
+#[derive(Debug, Clone)]
+pub struct FrameworkOutcome {
+    /// The (ε', φ) decomposition used.
+    pub decomposition: ExpanderDecomposition,
+    /// Per-cluster data.
+    pub clusters: Vec<ClusterRun>,
+    /// Rounds/messages measured across all communicating phases.
+    pub stats: RoundStats,
+    /// Phase breakdown of the rounds in `stats`.
+    pub phases: PhaseRounds,
+    /// `true`: the decomposition construction itself was computed by the
+    /// substituted sequential reference (its Θ(ε^{-O(1)} log^{O(1)} n)
+    /// rounds are *not* included in `stats`); all other phases are.
+    pub construction_substituted: bool,
+}
+
+/// Round counts per framework phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseRounds {
+    /// Leader election (max-degree flood).
+    pub election: u64,
+    /// Distributed low-out-degree orientation.
+    pub orientation: u64,
+    /// Topology gathering via expander routing.
+    pub gathering: u64,
+    /// Result broadcast (reversed routing).
+    pub broadcast: u64,
+}
+
+impl FrameworkOutcome {
+    /// Cluster id of a host vertex.
+    pub fn cluster_of(&self, v: usize) -> usize {
+        self.decomposition.cluster_of[v]
+    }
+
+    /// Number of inter-cluster edges.
+    pub fn cut_edges(&self) -> usize {
+        self.decomposition.cut_edges.len()
+    }
+}
+
+/// Runs the Theorem 2.6 pipeline on `g`.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not in `(0, 1)` or `density_bound < 1`.
+pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
+    assert!(cfg.epsilon > 0.0 && cfg.epsilon < 1.0, "epsilon must be in (0,1)");
+    assert!(cfg.density_bound >= 1.0, "density bound must be >= 1");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    // Phase 1 (substituted): (ε', φ) decomposition with ε' = ε / t.
+    let eps_prime = cfg.epsilon / cfg.density_bound;
+    let decomposition = if cfg.practical_phi {
+        decomp::decompose_adaptive(g, eps_prime)
+    } else {
+        decomp::decompose(g, eps_prime)
+    };
+
+    let mut net = Network::new(g, Model::congest());
+    let cluster_of = decomposition.cluster_of.clone();
+
+    // Phase 2: leader election. b = max cluster diameter (each G[V_i] has
+    // diameter O(φ^{-1} log n); we use the measured bound).
+    let mut phases = PhaseRounds::default();
+    let members_by_cluster = primitives::cluster_members(&cluster_of);
+    let mut diam_bound = 0usize;
+    let mut subs: Vec<(usize, Graph, Vec<usize>)> = Vec::new();
+    for (&cid, members) in &members_by_cluster {
+        let (sub, mapping) = g.induced_subgraph(members);
+        diam_bound = diam_bound.max(sub.diameter().unwrap_or(0));
+        subs.push((cid, sub, mapping));
+    }
+    let degrees: Vec<u64> = {
+        // degree within the cluster graph G_i (cut edges excluded)
+        (0..g.n())
+            .map(|v| {
+                g.neighbor_vertices(v)
+                    .filter(|&u| cluster_of[u] == cluster_of[v])
+                    .count() as u64
+            })
+            .collect()
+    };
+    let t0 = net.stats().rounds;
+    let elected = primitives::max_flood(&mut net, &degrees, diam_bound, Scope::Intra(&cluster_of));
+    phases.election = net.stats().rounds - t0;
+
+    // Phase 3: distributed orientation (so each vertex ships O(1) edges).
+    let t0 = net.stats().rounds;
+    let max_layers = 4 * ((g.n().max(2) as f64).log2().ceil() as usize) + 8;
+    let layer =
+        primitives::h_partition_distributed(&mut net, cfg.density_bound, 1.0, max_layers, Scope::Intra(&cluster_of));
+    phases.orientation = net.stats().rounds - t0;
+    // out-edges: lower layer -> higher layer (ties by id), intra-cluster
+    let out_deg: Vec<usize> = (0..g.n())
+        .map(|v| {
+            g.neighbor_vertices(v)
+                .filter(|&u| cluster_of[u] == cluster_of[v])
+                .filter(|&u| {
+                    let lv = layer[v].unwrap_or(usize::MAX);
+                    let lu = layer[u].unwrap_or(usize::MAX);
+                    lv < lu || (lv == lu && v < u)
+                })
+                .count()
+        })
+        .collect();
+
+    // Phases 4-5: gather topology to each leader, then broadcast back.
+    // Clusters run in parallel: charge the maximum over clusters.
+    let mut clusters = Vec::new();
+    let mut gather_rounds = 0u64;
+    let mut broadcast_rounds = 0u64;
+    let mut faithful_traffic = RoundStats::default();
+    for (cid, sub, mapping) in subs {
+        let leader = mapping
+            .iter()
+            .copied()
+            .max_by_key(|&v| (degrees[v], v))
+            .unwrap();
+        // sanity: the flood elected the same leader everywhere in cluster
+        debug_assert!(mapping.iter().all(|&v| elected[v].1 == leader));
+        let counts: Vec<usize> = mapping.iter().map(|&v| 1 + out_deg[v]).collect();
+        let routing_outcome = if sub.n() <= 1 {
+            routing::RoutingOutcome {
+                delivered: counts.iter().sum(),
+                total: counts.iter().sum(),
+                steps: 0,
+                rounds: 0,
+                max_edge_load: 0,
+            }
+        } else if cfg.deterministic_routing {
+            routing::tree_routing(g, &mapping, leader)
+        } else if cfg.message_faithful {
+            // run this cluster's routing on its own network (clusters run
+            // in parallel; rounds take the max, traffic sums)
+            let mut cluster_net = Network::new(g, Model::congest());
+            let (outcome, rstats) = routing::network_walk_routing_with_counts(
+                &mut cluster_net,
+                &mapping,
+                leader,
+                &counts,
+                cfg.max_walk_steps,
+                &mut rng,
+            );
+            faithful_traffic.messages += rstats.messages;
+            faithful_traffic.words += rstats.words;
+            faithful_traffic.max_words_edge_round =
+                faithful_traffic.max_words_edge_round.max(rstats.max_words_edge_round);
+            outcome
+        } else {
+            routing::random_walk_routing_with_counts(
+                g,
+                &mapping,
+                leader,
+                &counts,
+                cfg.max_walk_steps,
+                &mut rng,
+            )
+        };
+        gather_rounds = gather_rounds.max(routing_outcome.rounds);
+        // broadcast = reversed routing (same cost, as in the paper)
+        broadcast_rounds = broadcast_rounds.max(routing_outcome.rounds);
+        clusters.push(ClusterRun {
+            id: cid,
+            members: mapping.clone(),
+            leader,
+            subgraph: sub,
+            mapping,
+            routing: routing_outcome,
+        });
+    }
+    phases.gathering = gather_rounds;
+    phases.broadcast = broadcast_rounds;
+    net.charge_rounds(gather_rounds + broadcast_rounds);
+    if cfg.message_faithful {
+        // the per-cluster networks' traffic (rounds already accounted as
+        // the max, charged above)
+        net.charge_stats(&RoundStats {
+            rounds: 0,
+            ..faithful_traffic
+        });
+    }
+
+    let stats = net.stats();
+    FrameworkOutcome {
+        decomposition,
+        clusters,
+        stats,
+        phases,
+        construction_substituted: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcg_graph::gen;
+
+    #[test]
+    fn framework_on_planar_graph() {
+        let mut rng = gen::seeded_rng(210);
+        let g = gen::stacked_triangulation(120, &mut rng);
+        let cfg = FrameworkConfig::planar(0.3, 7);
+        let out = run_framework(&g, &cfg);
+        out.decomposition.validate(&g).unwrap();
+        // Theorem 2.6 cut bound: ε·min(|V|, |E|)
+        let bound = 0.3 * (g.n().min(g.m()) as f64);
+        assert!(
+            (out.cut_edges() as f64) <= bound,
+            "{} cut edges > {bound}",
+            out.cut_edges()
+        );
+        // every cluster gathered completely
+        for c in &out.clusters {
+            assert!(c.routing.complete(), "cluster {} incomplete", c.id);
+            assert!(c.members.contains(&c.leader));
+        }
+        assert!(out.stats.rounds > 0);
+        assert!(out.stats.max_words_edge_round <= 2);
+    }
+
+    #[test]
+    fn leader_has_max_cluster_degree() {
+        let mut rng = gen::seeded_rng(211);
+        let g = gen::random_planar(100, 0.5, &mut rng);
+        let out = run_framework(&g, &FrameworkConfig::planar(0.25, 3));
+        let cluster_of = &out.decomposition.cluster_of;
+        for c in &out.clusters {
+            let deg_in = |v: usize| {
+                g.neighbor_vertices(v)
+                    .filter(|&u| cluster_of[u] == cluster_of[v])
+                    .count()
+            };
+            let max_deg = c.members.iter().map(|&v| deg_in(v)).max().unwrap();
+            assert_eq!(deg_in(c.leader), max_deg);
+        }
+    }
+
+    #[test]
+    fn subgraphs_match_members() {
+        let mut rng = gen::seeded_rng(212);
+        let g = gen::ktree(80, 2, &mut rng);
+        let out = run_framework(&g, &FrameworkConfig::minor_free(0.3, 2.0, 5));
+        let total: usize = out.clusters.iter().map(|c| c.subgraph.n()).sum();
+        assert_eq!(total, g.n());
+        for c in &out.clusters {
+            assert_eq!(c.subgraph.n(), c.members.len());
+            assert!(c.subgraph.is_connected() || c.subgraph.n() <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_routing_variant() {
+        let mut rng = gen::seeded_rng(213);
+        let g = gen::random_planar(80, 0.4, &mut rng);
+        let mut cfg = FrameworkConfig::planar(0.3, 11);
+        cfg.deterministic_routing = true;
+        let out = run_framework(&g, &cfg);
+        for c in &out.clusters {
+            assert!(c.routing.complete());
+        }
+    }
+
+    #[test]
+    fn phase_breakdown_sums() {
+        let mut rng = gen::seeded_rng(214);
+        let g = gen::grid(10, 10);
+        let _ = rng;
+        let out = run_framework(&g, &FrameworkConfig::planar(0.3, 2));
+        let p = out.phases;
+        assert_eq!(
+            out.stats.rounds,
+            p.election + p.orientation + p.gathering + p.broadcast
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_epsilon() {
+        let g = gen::path(4);
+        run_framework(&g, &FrameworkConfig::planar(1.5, 0));
+    }
+}

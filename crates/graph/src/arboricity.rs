@@ -1,0 +1,116 @@
+//! Arboricity and edge-density estimates.
+//!
+//! The paper's framework only needs the *edge density* bound `|E|/|V| ≤ t`
+//! of H-minor-free graphs (Thomason's `O(t√log t)·|V|` bound for
+//! `K_t`-minor-free graphs) and the resulting constant-arboricity
+//! orientation. This module provides density, Nash-Williams lower bounds,
+//! a degeneracy upper bound, and a constructive forest decomposition.
+
+use crate::graph::Graph;
+
+/// Nash-Williams lower bound `⌈m / (n − 1)⌉` on the arboricity (exact on
+/// many graphs; always a valid lower bound because a forest on `n` vertices
+/// has at most `n − 1` edges).
+pub fn arboricity_lower_bound(g: &Graph) -> usize {
+    if g.n() <= 1 {
+        return 0;
+    }
+    g.m().div_ceil(g.n() - 1)
+}
+
+/// Degeneracy upper bound on the arboricity: `arboricity ≤ degeneracy`.
+pub fn arboricity_upper_bound(g: &Graph) -> usize {
+    g.degeneracy_ordering().1
+}
+
+/// A partition of the edge set into forests.
+#[derive(Debug, Clone)]
+pub struct ForestDecomposition {
+    /// `forest[e]` is the forest index of edge `e`.
+    pub forest: Vec<usize>,
+    /// Number of forests used.
+    pub count: usize,
+}
+
+/// Greedy forest decomposition along a degeneracy ordering.
+///
+/// Each vertex's out-edges (toward later vertices in the ordering) are
+/// spread across distinct forests, so the number of forests equals the
+/// degeneracy — within a constant factor of optimal arboricity, and `O(1)`
+/// on any H-minor-free graph.
+pub fn forest_decomposition(g: &Graph) -> ForestDecomposition {
+    let (order, degeneracy) = g.degeneracy_ordering();
+    let mut pos = vec![0usize; g.n()];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v] = i;
+    }
+    let mut forest = vec![0usize; g.m()];
+    let mut counter = vec![0usize; g.n()];
+    let count = degeneracy.max(1);
+    for (e, u, v) in g.edges() {
+        let tail = if pos[u] < pos[v] { u } else { v };
+        forest[e] = counter[tail] % count;
+        counter[tail] += 1;
+    }
+    ForestDecomposition { forest, count }
+}
+
+/// Verifies that each class of `decomp` really is a forest (used in tests
+/// and property-based checks).
+pub fn is_valid_forest_decomposition(g: &Graph, decomp: &ForestDecomposition) -> bool {
+    for f in 0..decomp.count {
+        let ids: Vec<usize> = (0..g.m()).filter(|&e| decomp.forest[e] == f).collect();
+        let sub = g.edge_subgraph(&ids);
+        if !crate::planarity::is_forest(&sub) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn tree_arboricity_one() {
+        let mut rng = gen::seeded_rng(80);
+        let g = gen::random_tree(50, &mut rng);
+        assert_eq!(arboricity_lower_bound(&g), 1);
+        assert_eq!(arboricity_upper_bound(&g), 1);
+        let d = forest_decomposition(&g);
+        assert_eq!(d.count, 1);
+        assert!(is_valid_forest_decomposition(&g, &d));
+    }
+
+    #[test]
+    fn planar_arboricity_at_most_five() {
+        let mut rng = gen::seeded_rng(81);
+        let g = gen::stacked_triangulation(120, &mut rng);
+        assert!(arboricity_lower_bound(&g) <= 3);
+        // stacked triangulations are 3-degenerate
+        assert_eq!(arboricity_upper_bound(&g), 3);
+        let d = forest_decomposition(&g);
+        assert!(is_valid_forest_decomposition(&g, &d));
+        assert!(d.count <= 3);
+    }
+
+    #[test]
+    fn clique_bounds() {
+        let g = gen::complete(7);
+        assert_eq!(arboricity_lower_bound(&g), 4); // ceil(21/6)
+        assert_eq!(arboricity_upper_bound(&g), 6);
+        let d = forest_decomposition(&g);
+        assert!(is_valid_forest_decomposition(&g, &d));
+    }
+
+    #[test]
+    fn bounds_sandwich() {
+        let mut rng = gen::seeded_rng(82);
+        for _ in 0..5 {
+            let g = gen::erdos_renyi(30, 0.3, &mut rng);
+            assert!(arboricity_lower_bound(&g) <= arboricity_upper_bound(&g).max(1));
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Deterministic structured families: paths, cycles, grids, cliques,
+//! hypercubes, and the toroidal grids used as bounded-genus examples.
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Path on `n` vertices (`n-1` edges). Planar, treewidth 1.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(i - 1, i);
+    }
+    b.build()
+}
+
+/// Cycle on `n` vertices. The paper's tight example for low-diameter
+/// decompositions (D = O(1/ε) is optimal on cycles).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n);
+    }
+    b.build()
+}
+
+/// Star `K_{1,n-1}`: vertex 0 is the center.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{a,b}`; the left side is `0..a`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            builder.add_edge(u, a + v);
+        }
+    }
+    builder.build()
+}
+
+/// `w × h` grid. Planar; vertex `(x, y)` has id `y * w + x`.
+pub fn grid(w: usize, h: usize) -> Graph {
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                b.add_edge(v, v + 1);
+            }
+            if y + 1 < h {
+                b.add_edge(v, v + w);
+            }
+        }
+    }
+    b.build()
+}
+
+/// `w × h` grid with one diagonal per cell: a planar triangulation of the
+/// grid's interior. Higher edge density than [`grid`] while staying planar.
+pub fn triangulated_grid(w: usize, h: usize) -> Graph {
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                b.add_edge(v, v + 1);
+            }
+            if y + 1 < h {
+                b.add_edge(v, v + w);
+            }
+            if x + 1 < w && y + 1 < h {
+                b.add_edge(v, v + w + 1);
+            }
+        }
+    }
+    b.build()
+}
+
+/// `w × h` grid with wraparound in both dimensions: embeds on the torus
+/// (genus 1), so it is a bounded-genus — hence minor-closed-family — example
+/// that is *not* planar for `w, h ≥ 3`.
+///
+/// # Panics
+///
+/// Panics if `w < 3` or `h < 3` (smaller wraps create parallel edges).
+pub fn torus_grid(w: usize, h: usize) -> Graph {
+    assert!(w >= 3 && h >= 3, "torus grid needs both dimensions >= 3");
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            b.add_edge(v, y * w + (x + 1) % w);
+            b.add_edge(v, ((y + 1) % h) * w + x);
+        }
+    }
+    b.build()
+}
+
+/// Toroidal grid with `handles` extra long-range edges: each handle can
+/// raise the genus by at most one, so the result embeds on a surface of
+/// genus ≤ 1 + handles — a *bounded-genus* family strictly beyond the
+/// torus (used to exercise the "graphs of genus g" claims of §1).
+///
+/// Handle endpoints are deterministic (antipodal-ish pairs), so the
+/// generator is reproducible without an RNG.
+///
+/// # Panics
+///
+/// Panics if `w < 3`, `h < 3`, or `handles > w*h/4`.
+pub fn torus_with_handles(w: usize, h: usize, handles: usize) -> Graph {
+    assert!(handles <= w * h / 4, "too many handles");
+    let base = torus_grid(w, h);
+    let n = base.n();
+    let mut b = GraphBuilder::new(n);
+    for (_, u, v) in base.edges() {
+        b.add_edge(u, v);
+    }
+    for i in 0..handles {
+        // pair vertex 2i with its antipode, skipping existing edges
+        let u = (2 * i) % n;
+        let v = (u + n / 2 + i) % n;
+        if u != v && !base.has_edge(u, v) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// `d`-dimensional hypercube `Q_d` on `2^d` vertices.
+///
+/// The paper (§2, citing \[4\]) uses hypercubes as the family showing the
+/// `φ = Ω(ε/log n)` bound of expander decompositions is tight: after
+/// removing any constant fraction of edges, some component has conductance
+/// `O(1/log n)`.
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_edge(v, u);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_counts() {
+        let g = path(7);
+        assert_eq!((g.n(), g.m()), (7, 6));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn cycle_is_2_regular() {
+        let g = cycle(9);
+        assert!((0..9).all(|v| g.degree(v) == 2));
+        assert_eq!(g.diameter(), Some(4));
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        assert!((1..6).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        assert_eq!(complete(6).m(), 15);
+    }
+
+    #[test]
+    fn bipartite_edge_count() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.m(), 12);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(4, 3);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 4 * 2); // horizontal + vertical
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+    }
+
+    #[test]
+    fn triangulated_grid_density() {
+        let g = triangulated_grid(4, 4);
+        let plain = grid(4, 4);
+        assert_eq!(g.m(), plain.m() + 9); // one diagonal per cell
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus_grid(4, 5);
+        assert!((0..20).all(|v| g.degree(v) == 4));
+        assert_eq!(g.m(), 40);
+    }
+
+    #[test]
+    fn torus_with_handles_adds_edges() {
+        let g = torus_with_handles(5, 5, 3);
+        assert_eq!(g.n(), 25);
+        assert!(g.m() >= 50 && g.m() <= 53);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn hypercube_is_d_regular() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert!((0..16).all(|v| g.degree(v) == 4));
+        assert_eq!(g.m(), 32);
+        assert_eq!(g.diameter(), Some(4));
+    }
+}

@@ -1,0 +1,168 @@
+//! Random planar graph generators.
+//!
+//! The workhorse is [`stacked_triangulation`] (a random Apollonian network):
+//! a *maximal* planar graph built by repeatedly inserting a vertex into a
+//! uniformly random triangular face. Sparser planar graphs come from
+//! deleting random edges ([`random_planar`]); maximal outerplanar graphs
+//! come from random triangulations of a polygon ([`outerplanar_maximal`]).
+
+use rand::Rng;
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Random maximal planar graph (stacked triangulation / Apollonian network)
+/// on `n ≥ 3` vertices. Has exactly `3n - 6` edges for `n ≥ 3`.
+///
+/// Construction: start from the triangle `{0,1,2}`; for each new vertex,
+/// pick a uniformly random existing face `(a,b,c)`, connect the vertex to
+/// its three corners, and replace the face by three new faces.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn stacked_triangulation(n: usize, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 3, "a triangulation needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.add_edge(0, 2);
+    // Track both sides of the outer triangle so insertions can also happen
+    // "outside", which keeps the diameter from collapsing to O(1).
+    let mut faces: Vec<[usize; 3]> = vec![[0, 1, 2], [0, 1, 2]];
+    for v in 3..n {
+        let f = rng.gen_range(0..faces.len());
+        let [a, b2, c] = faces.swap_remove(f);
+        b.add_edge(v, a);
+        b.add_edge(v, b2);
+        b.add_edge(v, c);
+        faces.push([v, a, b2]);
+        faces.push([v, b2, c]);
+        faces.push([v, a, c]);
+    }
+    b.build()
+}
+
+/// Random connected planar graph: a stacked triangulation with edges deleted
+/// independently while preserving connectivity.
+///
+/// `keep` is the probability that a non-bridge edge survives; the result is
+/// always connected and always planar (edge deletion preserves planarity).
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `keep` is outside `[0, 1]`.
+pub fn random_planar(n: usize, keep: f64, rng: &mut impl Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&keep), "keep must be a probability");
+    let g = stacked_triangulation(n, rng);
+    // Random spanning tree first (via random-order union-find) so the result
+    // stays connected; then keep each remaining edge with probability `keep`.
+    let mut ids: Vec<usize> = (0..g.m()).collect();
+    use rand::seq::SliceRandom;
+    ids.shuffle(rng);
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut keep_edge = vec![false; g.m()];
+    for &e in &ids {
+        let (u, v) = g.endpoints(e);
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru] = rv;
+            keep_edge[e] = true;
+        } else if rng.gen_bool(keep) {
+            keep_edge[e] = true;
+        }
+    }
+    let kept: Vec<usize> = (0..g.m()).filter(|&e| keep_edge[e]).collect();
+    g.edge_subgraph(&kept)
+}
+
+/// Random maximal outerplanar graph: a triangulation of the `n`-gon.
+/// Outerplanar graphs have treewidth ≤ 2 and are `K₄`-minor-free... plus
+/// `K_{2,3}`-minor-free; they exercise the "minor-closed class strictly
+/// inside planar" case of Theorem 1.4.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn outerplanar_maximal(n: usize, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 3, "an outerplanar triangulation needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n);
+    }
+    // Triangulate the polygon with random ears: recursively split the
+    // polygon (as an index range) at a random apex.
+    let mut stack: Vec<(usize, usize)> = vec![(0, n - 1)]; // chord (i, j), polygon i..=j
+    while let Some((i, j)) = stack.pop() {
+        if j - i < 2 {
+            continue;
+        }
+        let k = rng.gen_range(i + 1..j);
+        if k != i + 1 {
+            b.add_edge(i, k);
+        }
+        if k != j - 1 {
+            b.add_edge(k, j);
+        }
+        stack.push((i, k));
+        stack.push((k, j));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::seeded_rng;
+
+    #[test]
+    fn triangulation_has_3n_minus_6_edges() {
+        let mut rng = seeded_rng(7);
+        for n in [3usize, 4, 10, 50, 200] {
+            let g = stacked_triangulation(n, &mut rng);
+            assert_eq!(g.m(), 3 * n - 6, "n = {n}");
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn random_planar_connected_and_sparse() {
+        let mut rng = seeded_rng(8);
+        let g = random_planar(100, 0.4, &mut rng);
+        assert!(g.is_connected());
+        assert!(g.m() <= 3 * 100 - 6);
+        assert!(g.m() >= 99); // at least a spanning tree
+    }
+
+    #[test]
+    fn random_planar_keep_one_is_maximal() {
+        let mut rng = seeded_rng(9);
+        let g = random_planar(30, 1.0, &mut rng);
+        assert_eq!(g.m(), 3 * 30 - 6);
+    }
+
+    #[test]
+    fn outerplanar_edge_count() {
+        let mut rng = seeded_rng(10);
+        for n in [3usize, 4, 5, 12, 40] {
+            let g = outerplanar_maximal(n, &mut rng);
+            // maximal outerplanar on n >= 3 vertices has 2n - 3 edges
+            assert_eq!(g.m(), 2 * n - 3, "n = {n}");
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn outerplanar_respects_euler_bound() {
+        let mut rng = seeded_rng(11);
+        let g = outerplanar_maximal(25, &mut rng);
+        // Planar bound m <= 3n - 6 must hold a fortiori.
+        assert!(g.m() <= 3 * g.n() - 6);
+    }
+}

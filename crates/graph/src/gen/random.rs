@@ -1,0 +1,183 @@
+//! Unstructured random families: Erdős–Rényi, G(n, m), random bipartite,
+//! disjoint clique unions (the provably-far-from-planar family used by the
+//! property-testing experiments), and edge subsampling.
+
+use rand::Rng;
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// `G(n, m)`: exactly `m` distinct uniform random edges.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds `n(n-1)/2`.
+pub fn gnm(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+    let max = n * n.saturating_sub(1) / 2;
+    assert!(m <= max, "requested more edges than a simple graph allows");
+    let mut b = GraphBuilder::new(n);
+    let mut chosen = std::collections::HashSet::with_capacity(m);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Random bipartite graph with sides `a`, `b` and edge probability `p`.
+/// Left side is `0..a`.
+pub fn random_bipartite(a: usize, b: usize, p: f64, rng: &mut impl Rng) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            if rng.gen_bool(p) {
+                builder.add_edge(u, a + v);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// `t` disjoint copies of `K_s`.
+///
+/// For `s = 6` this family is **provably ε-far from planar** for all
+/// `ε < 2/15`: each `K₆` needs at least two edge deletions before it stops
+/// containing a `K₅` (deleting one edge `{u,v}` leaves `K₅` intact on the
+/// other five vertices), so at least `2t` of the `15t` edges must change.
+/// It is the ground-truth "Reject" workload of Experiment E8.
+pub fn disjoint_cliques(t: usize, s: usize, ) -> Graph {
+    let mut b = GraphBuilder::new(t * s);
+    for c in 0..t {
+        let base = c * s;
+        for u in 0..s {
+            for v in (u + 1)..s {
+                b.add_edge(base + u, base + v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Keeps each edge independently with probability `keep` (connectivity not
+/// preserved). Planarity and minor-freeness are preserved under deletion.
+pub fn subsample_edges(g: &Graph, keep: f64, rng: &mut impl Rng) -> Graph {
+    let ids: Vec<usize> = (0..g.m()).filter(|_| rng.gen_bool(keep)).collect();
+    g.edge_subgraph(&ids)
+}
+
+/// Connectivity-preserving edge subsampling: a random spanning tree (per
+/// component) always survives; every other edge survives with probability
+/// `keep`. Deletion-closed properties (planarity, minor-freeness, degree
+/// bounds) are preserved. Used to build e.g. random *bounded-degree*
+/// planar graphs from triangulated grids.
+pub fn subsample_connected(g: &Graph, keep: f64, rng: &mut impl Rng) -> Graph {
+    use rand::seq::SliceRandom;
+    let mut ids: Vec<usize> = (0..g.m()).collect();
+    ids.shuffle(rng);
+    let mut parent: Vec<usize> = (0..g.n()).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut kept = Vec::new();
+    for &e in &ids {
+        let (u, v) = g.endpoints(e);
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru] = rv;
+            kept.push(e);
+        } else if rng.gen_bool(keep) {
+            kept.push(e);
+        }
+    }
+    g.edge_subgraph(&kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::seeded_rng;
+
+    #[test]
+    fn gnp_edge_count_reasonable() {
+        let mut rng = seeded_rng(30);
+        let g = erdos_renyi(100, 0.1, &mut rng);
+        let expected = 0.1 * (100.0 * 99.0 / 2.0);
+        assert!((g.m() as f64) > expected * 0.6);
+        assert!((g.m() as f64) < expected * 1.4);
+    }
+
+    #[test]
+    fn gnm_exact_count() {
+        let mut rng = seeded_rng(31);
+        let g = gnm(50, 120, &mut rng);
+        assert_eq!(g.m(), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "more edges")]
+    fn gnm_rejects_impossible() {
+        let mut rng = seeded_rng(32);
+        gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    fn bipartite_has_no_side_edges() {
+        let mut rng = seeded_rng(33);
+        let g = random_bipartite(10, 10, 0.5, &mut rng);
+        for (_, u, v) in g.edges() {
+            assert!((u < 10) != (v < 10));
+        }
+    }
+
+    #[test]
+    fn cliques_structure() {
+        let g = disjoint_cliques(3, 6);
+        assert_eq!(g.n(), 18);
+        assert_eq!(g.m(), 3 * 15);
+        let (_, k) = g.connected_components();
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn subsample_connected_stays_connected() {
+        let mut rng = seeded_rng(35);
+        let g = crate::gen::triangulated_grid(10, 10);
+        let h = subsample_connected(&g, 0.3, &mut rng);
+        assert!(h.is_connected());
+        assert!(h.m() < g.m());
+        assert!(h.max_degree() <= g.max_degree());
+    }
+
+    #[test]
+    fn subsample_bounds() {
+        let mut rng = seeded_rng(34);
+        let g = erdos_renyi(40, 0.5, &mut rng);
+        let h = subsample_edges(&g, 0.5, &mut rng);
+        assert!(h.m() < g.m());
+        assert_eq!(h.n(), g.n());
+    }
+}

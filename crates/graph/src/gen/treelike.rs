@@ -1,0 +1,227 @@
+//! Tree-like families: uniform random trees, k-trees (the canonical
+//! bounded-treewidth graphs), partial k-trees, and series-parallel graphs.
+
+use rand::Rng;
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Uniformly random labeled tree on `n` vertices via a random Prüfer
+/// sequence. Treewidth 1, planar, `K₃`-minor-free.
+pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    match n {
+        0 | 1 => return b.build(),
+        2 => {
+            b.add_edge(0, 1);
+            return b.build();
+        }
+        _ => {}
+    }
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    // Standard decoding with a pointer + leaf variable.
+    let mut ptr = 0;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &v in &prufer {
+        b.add_edge(leaf, v);
+        degree[v] -= 1;
+        if degree[v] == 1 && v < ptr {
+            leaf = v;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    b.add_edge(leaf, n - 1);
+    b.build()
+}
+
+/// Random `k`-tree on `n` vertices: start from `K_{k+1}`, then attach each
+/// new vertex to a random existing `k`-clique. k-trees are exactly the
+/// maximal graphs of treewidth `k` and are `K_{k+2}`-minor-free.
+///
+/// # Panics
+///
+/// Panics if `n < k + 1` or `k == 0`.
+pub fn ktree(n: usize, k: usize, rng: &mut impl Rng) -> Graph {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(n > k, "a k-tree needs at least k+1 vertices");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..=k {
+        for v in (u + 1)..=k {
+            b.add_edge(u, v);
+        }
+    }
+    // Track the k-cliques available for attachment.
+    let mut cliques: Vec<Vec<usize>> = Vec::new();
+    let base: Vec<usize> = (0..=k).collect();
+    for skip in 0..=k {
+        let mut c = base.clone();
+        c.remove(skip);
+        cliques.push(c);
+    }
+    for v in (k + 1)..n {
+        let c = cliques[rng.gen_range(0..cliques.len())].clone();
+        for &u in &c {
+            b.add_edge(v, u);
+        }
+        for skip in 0..k {
+            let mut nc = c.clone();
+            nc[skip] = v;
+            cliques.push(nc);
+        }
+        let mut with_v = c;
+        with_v.push(v);
+        // also the clique {c \ {last}} ∪ {v} handled above; include the one
+        // replacing nothing is not a k-clique, so nothing more to add.
+        let _ = with_v;
+    }
+    b.build()
+}
+
+/// Partial `k`-tree: a random `k`-tree with each non-tree edge kept with
+/// probability `keep`, preserving connectivity. Treewidth ≤ k.
+pub fn partial_ktree(n: usize, k: usize, keep: f64, rng: &mut impl Rng) -> Graph {
+    let g = ktree(n, k, rng);
+    use rand::seq::SliceRandom;
+    let mut ids: Vec<usize> = (0..g.m()).collect();
+    ids.shuffle(rng);
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut keep_edge = vec![false; g.m()];
+    for &e in &ids {
+        let (u, v) = g.endpoints(e);
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru] = rv;
+            keep_edge[e] = true;
+        } else if rng.gen_bool(keep) {
+            keep_edge[e] = true;
+        }
+    }
+    let kept: Vec<usize> = (0..g.m()).filter(|&e| keep_edge[e]).collect();
+    g.edge_subgraph(&kept)
+}
+
+/// Random two-terminal series-parallel graph on approximately `n` vertices.
+/// Series-parallel graphs are exactly the `K₄`-minor-free (2-connected)
+/// graphs and have treewidth ≤ 2.
+///
+/// Construction: recursively expand edges by series (subdivide) or parallel
+/// (duplicate-and-subdivide, to stay simple) compositions until the vertex
+/// budget is used.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn series_parallel(n: usize, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 2, "series-parallel graphs need at least 2 vertices");
+    // Edge list with mutable endpoints; vertex count grows as we expand.
+    let mut edges: Vec<(usize, usize)> = vec![(0, 1)];
+    let mut next = 2;
+    while next < n {
+        let i = rng.gen_range(0..edges.len());
+        let (u, v) = edges[i];
+        if rng.gen_bool(0.5) {
+            // series: u - w - v replaces u - v
+            let w = next;
+            next += 1;
+            edges[i] = (u, w);
+            edges.push((w, v));
+        } else {
+            // parallel with a subdivision to keep the graph simple:
+            // add u - w - v alongside u - v
+            let w = next;
+            next += 1;
+            edges.push((u, w));
+            edges.push((w, v));
+        }
+    }
+    let mut b = GraphBuilder::new(next);
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::seeded_rng;
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = seeded_rng(20);
+        for n in [1usize, 2, 3, 10, 100] {
+            let g = random_tree(n, &mut rng);
+            assert_eq!(g.m(), n.saturating_sub(1), "n = {n}");
+            assert!(g.is_connected(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn random_tree_varies() {
+        let mut rng = seeded_rng(21);
+        let g1 = random_tree(30, &mut rng);
+        let g2 = random_tree(30, &mut rng);
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn ktree_edge_count() {
+        let mut rng = seeded_rng(22);
+        for (n, k) in [(5usize, 2usize), (30, 2), (30, 3), (50, 4)] {
+            let g = ktree(n, k, &mut rng);
+            // k-tree has k(k+1)/2 + (n-k-1)k edges
+            let expect = k * (k + 1) / 2 + (n - k - 1) * k;
+            assert_eq!(g.m(), expect, "n={n} k={k}");
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn ktree_degeneracy_is_k() {
+        let mut rng = seeded_rng(23);
+        let g = ktree(40, 3, &mut rng);
+        let (_, d) = g.degeneracy_ordering();
+        assert_eq!(d, 3);
+    }
+
+    #[test]
+    fn partial_ktree_connected() {
+        let mut rng = seeded_rng(24);
+        let g = partial_ktree(60, 3, 0.3, &mut rng);
+        assert!(g.is_connected());
+        let (_, d) = g.degeneracy_ordering();
+        assert!(d <= 3);
+    }
+
+    #[test]
+    fn series_parallel_connected_and_sparse() {
+        let mut rng = seeded_rng(25);
+        let g = series_parallel(50, &mut rng);
+        assert!(g.is_connected());
+        assert!(g.n() >= 50);
+        // treewidth <= 2 implies m <= 2n - 3
+        assert!(g.m() <= 2 * g.n() - 3);
+        let (_, d) = g.degeneracy_ordering();
+        assert!(d <= 2);
+    }
+}

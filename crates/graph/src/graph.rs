@@ -1,0 +1,704 @@
+//! Compact undirected graph representation shared by every crate in the
+//! workspace.
+//!
+//! A [`Graph`] is immutable after construction (build one with
+//! [`GraphBuilder`]). Vertices are `0..n`; every edge has a stable *edge id*
+//! `0..m` that side arrays (weights, labels, orientations) key off. Parallel
+//! edges and self-loops are rejected at build time: the CONGEST model of the
+//! paper is defined on simple graphs.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Sign of an edge in a correlation-clustering instance (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sign {
+    /// The endpoints are positively correlated (`E⁺`).
+    Positive,
+    /// The endpoints are negatively correlated (`E⁻`).
+    Negative,
+}
+
+impl Sign {
+    /// Returns `true` for [`Sign::Positive`].
+    pub fn is_positive(self) -> bool {
+        matches!(self, Sign::Positive)
+    }
+}
+
+/// An immutable, simple, undirected graph with stable edge ids.
+///
+/// # Examples
+///
+/// ```
+/// use lcg_graph::{Graph, GraphBuilder};
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(2, 3);
+/// let g: Graph = b.build();
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    /// Edge endpoints with `u < v`, indexed by edge id.
+    edges: Vec<(u32, u32)>,
+    /// `adj[v]` lists `(neighbor, edge_id)` pairs sorted by neighbor.
+    adj: Vec<Vec<(u32, u32)>>,
+    /// Optional positive integer edge weights (paper assumes `w(e) ≥ 1`).
+    weights: Option<Vec<u64>>,
+    /// Optional correlation-clustering labels.
+    labels: Option<Vec<Sign>>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n)
+            .field("m", &self.edges.len())
+            .field("weighted", &self.weights.is_some())
+            .field("labeled", &self.labels.is_some())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree Δ of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Sum of degrees of the vertices in `set` (the paper's `vol(S)`).
+    pub fn volume<I: IntoIterator<Item = usize>>(&self, set: I) -> usize {
+        set.into_iter().map(|v| self.degree(v)).sum()
+    }
+
+    /// Iterator over `(neighbor, edge_id)` pairs of `v`, sorted by neighbor.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj[v].iter().map(|&(u, e)| (u as usize, e as usize))
+    }
+
+    /// Iterator over the neighbor vertices of `v` (without edge ids).
+    pub fn neighbor_vertices(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[v].iter().map(|&(u, _)| u as usize)
+    }
+
+    /// Endpoints `(u, v)` with `u < v` of the edge with id `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= m`.
+    pub fn endpoints(&self, e: usize) -> (usize, usize) {
+        let (u, v) = self.edges[e];
+        (u as usize, v as usize)
+    }
+
+    /// Iterator over all edges as `(edge_id, u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(e, &(u, v))| (e, u as usize, v as usize))
+    }
+
+    /// Edge id of the edge `{u, v}`, if present.
+    pub fn edge_id(&self, u: usize, v: usize) -> Option<usize> {
+        let (a, b) = (u.min(v) as u32, u.max(v) as u32);
+        // adjacency lists are sorted by neighbor, so binary search works.
+        let list = &self.adj[a as usize];
+        list.binary_search_by_key(&b, |&(w, _)| w)
+            .ok()
+            .map(|i| list[i].1 as usize)
+    }
+
+    /// Returns `true` if `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edge_id(u, v).is_some()
+    }
+
+    /// Weight of edge `e` (1 if the graph is unweighted).
+    pub fn weight(&self, e: usize) -> u64 {
+        self.weights.as_ref().map_or(1, |w| w[e])
+    }
+
+    /// Total weight of all edges.
+    pub fn total_weight(&self) -> u64 {
+        (0..self.m()).map(|e| self.weight(e)).sum()
+    }
+
+    /// Maximum edge weight `W` (paper notation), or 1 if unweighted/empty.
+    pub fn max_weight(&self) -> u64 {
+        self.weights
+            .as_ref()
+            .and_then(|w| w.iter().copied().max())
+            .unwrap_or(1)
+    }
+
+    /// Returns `true` if explicit edge weights were supplied.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Label of edge `e` ([`Sign::Positive`] if the graph is unlabeled).
+    pub fn label(&self, e: usize) -> Sign {
+        self.labels.as_ref().map_or(Sign::Positive, |l| l[e])
+    }
+
+    /// Returns `true` if explicit correlation-clustering labels were supplied.
+    pub fn is_labeled(&self) -> bool {
+        self.labels.is_some()
+    }
+
+    /// Edge density `|E| / |V|` (0 for the empty graph).
+    pub fn edge_density(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m() as f64 / self.n as f64
+        }
+    }
+
+    /// Returns a copy of this graph with the given edge weights attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != m` or any weight is zero (the paper
+    /// assumes positive integer weights).
+    pub fn with_weights(mut self, weights: Vec<u64>) -> Graph {
+        assert_eq!(weights.len(), self.m(), "one weight per edge required");
+        assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Returns a copy of this graph with correlation-clustering labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != m`.
+    pub fn with_labels(mut self, labels: Vec<Sign>) -> Graph {
+        assert_eq!(labels.len(), self.m(), "one label per edge required");
+        self.labels = Some(labels);
+        self
+    }
+
+    /// Breadth-first distances from `src`; unreachable vertices get
+    /// `usize::MAX`.
+    pub fn bfs_distances(&self, src: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        let mut queue = VecDeque::new();
+        dist[src] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            for (u, _) in self.neighbors(v) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Connected components: returns `(component_id_per_vertex, k)`.
+    pub fn connected_components(&self) -> (Vec<usize>, usize) {
+        let mut comp = vec![usize::MAX; self.n];
+        let mut k = 0;
+        let mut stack = Vec::new();
+        for s in 0..self.n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            comp[s] = k;
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                for (u, _) in self.neighbors(v) {
+                    if comp[u] == usize::MAX {
+                        comp[u] = k;
+                        stack.push(u);
+                    }
+                }
+            }
+            k += 1;
+        }
+        (comp, k)
+    }
+
+    /// Returns `true` if the graph is connected (the empty graph counts as
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        self.n == 0 || self.connected_components().1 == 1
+    }
+
+    /// Exact diameter via BFS from every vertex. `None` for disconnected or
+    /// empty graphs. Quadratic; intended for clusters, not huge networks.
+    pub fn diameter(&self) -> Option<usize> {
+        if self.n == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for v in 0..self.n {
+            let d = self.bfs_distances(v);
+            for &x in &d {
+                if x == usize::MAX {
+                    return None;
+                }
+                best = best.max(x);
+            }
+        }
+        Some(best)
+    }
+
+    /// Lower bound on the diameter from a double BFS sweep. Cheap
+    /// (two BFS traversals); exact on trees.
+    pub fn diameter_lower_bound(&self) -> usize {
+        if self.n == 0 {
+            return 0;
+        }
+        let d0 = self.bfs_distances(0);
+        let far = (0..self.n)
+            .filter(|&v| d0[v] != usize::MAX)
+            .max_by_key(|&v| d0[v])
+            .unwrap_or(0);
+        let d1 = self.bfs_distances(far);
+        d1.iter().filter(|&&x| x != usize::MAX).copied().max().unwrap_or(0)
+    }
+
+    /// Eccentricity of `v` within its connected component.
+    pub fn eccentricity(&self, v: usize) -> usize {
+        self.bfs_distances(v)
+            .into_iter()
+            .filter(|&d| d != usize::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Induced subgraph `G[S]`.
+    ///
+    /// Returns the subgraph together with the map from new vertex ids to the
+    /// original ids (`mapping[new] = old`). Weights and labels are carried
+    /// over. Duplicate vertices in `set` are ignored.
+    pub fn induced_subgraph(&self, set: &[usize]) -> (Graph, Vec<usize>) {
+        let mut mapping: Vec<usize> = Vec::with_capacity(set.len());
+        let mut new_id = vec![usize::MAX; self.n];
+        for &v in set {
+            if new_id[v] == usize::MAX {
+                new_id[v] = mapping.len();
+                mapping.push(v);
+            }
+        }
+        let mut b = GraphBuilder::new(mapping.len());
+        let mut weights = Vec::new();
+        let mut labels = Vec::new();
+        for (e, u, v) in self.edges() {
+            if new_id[u] != usize::MAX && new_id[v] != usize::MAX {
+                b.add_edge(new_id[u], new_id[v]);
+                weights.push(self.weight(e));
+                labels.push(self.label(e));
+            }
+        }
+        let mut g = b.build();
+        if self.weights.is_some() {
+            g = g.with_weights(weights);
+        }
+        if self.labels.is_some() {
+            g = g.with_labels(labels);
+        }
+        (g, mapping)
+    }
+
+    /// Subgraph containing exactly the edges in `edge_ids` and **all** `n`
+    /// vertices (isolated vertices are kept). Weights and labels carry over.
+    pub fn edge_subgraph(&self, edge_ids: &[usize]) -> Graph {
+        let mut b = GraphBuilder::new(self.n);
+        let mut weights = Vec::new();
+        let mut labels = Vec::new();
+        for &e in edge_ids {
+            let (u, v) = self.endpoints(e);
+            b.add_edge(u, v);
+            weights.push(self.weight(e));
+            labels.push(self.label(e));
+        }
+        let mut g = b.build();
+        if self.weights.is_some() {
+            g = g.with_weights(weights);
+        }
+        if self.labels.is_some() {
+            g = g.with_labels(labels);
+        }
+        g
+    }
+
+    /// Graph with the listed edges removed (vertex set unchanged).
+    pub fn remove_edges(&self, removed: &[usize]) -> Graph {
+        let mut keep = vec![true; self.m()];
+        for &e in removed {
+            keep[e] = false;
+        }
+        let ids: Vec<usize> = (0..self.m()).filter(|&e| keep[e]).collect();
+        self.edge_subgraph(&ids)
+    }
+
+    /// Degeneracy ordering: repeatedly remove a minimum-degree vertex.
+    ///
+    /// Returns `(order, degeneracy)` where `order[i]` is the i-th removed
+    /// vertex and `degeneracy` is the maximum degree at removal time. The
+    /// degeneracy upper-bounds arboricity and is O(1) for H-minor-free
+    /// graphs (paper §2.2, edge density argument).
+    pub fn degeneracy_ordering(&self) -> (Vec<usize>, usize) {
+        let n = self.n;
+        let mut deg: Vec<usize> = (0..n).map(|v| self.degree(v)).collect();
+        let maxd = self.max_degree();
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); maxd + 1];
+        for v in 0..n {
+            buckets[deg[v]].push(v);
+        }
+        let mut removed = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut degeneracy = 0;
+        let mut cursor = 0usize;
+        for _ in 0..n {
+            // find the lowest non-empty bucket, starting from the last
+            // removal degree minus one (degrees drop by at most 1 per step).
+            cursor = cursor.saturating_sub(1);
+            let v = {
+                while cursor <= maxd {
+                    if let Some(&cand) = buckets[cursor].last() {
+                        if !removed[cand] && deg[cand] == cursor {
+                            break;
+                        }
+                        buckets[cursor].pop();
+                        continue;
+                    }
+                    cursor += 1;
+                }
+                assert!(cursor <= maxd, "bucket scan exhausted with vertices remaining");
+                buckets[cursor].pop().unwrap()
+            };
+            removed[v] = true;
+            degeneracy = degeneracy.max(deg[v]);
+            order.push(v);
+            for (u, _) in self.neighbors(v) {
+                if !removed[u] {
+                    deg[u] -= 1;
+                    buckets[deg[u]].push(u);
+                }
+            }
+        }
+        (order, degeneracy)
+    }
+
+    /// The boundary `∂(S)`: ids of edges with exactly one endpoint in `S`.
+    pub fn boundary(&self, in_set: &[bool]) -> Vec<usize> {
+        assert_eq!(in_set.len(), self.n);
+        self.edges()
+            .filter(|&(_, u, v)| in_set[u] != in_set[v])
+            .map(|(e, _, _)| e)
+            .collect()
+    }
+
+    /// Disjoint union of two graphs; the second graph's vertices are shifted
+    /// by `self.n()`. Weights/labels carry over when both sides have them.
+    pub fn disjoint_union(&self, other: &Graph) -> Graph {
+        let mut b = GraphBuilder::new(self.n + other.n);
+        for (_, u, v) in self.edges() {
+            b.add_edge(u, v);
+        }
+        for (_, u, v) in other.edges() {
+            b.add_edge(u + self.n, v + self.n);
+        }
+        let mut g = b.build();
+        if self.weights.is_some() && other.weights.is_some() {
+            let w: Vec<u64> = (0..self.m())
+                .map(|e| self.weight(e))
+                .chain((0..other.m()).map(|e| other.weight(e)))
+                .collect();
+            g = g.with_weights(w);
+        }
+        if self.labels.is_some() && other.labels.is_some() {
+            let l: Vec<Sign> = (0..self.m())
+                .map(|e| self.label(e))
+                .chain((0..other.m()).map(|e| other.label(e)))
+                .collect();
+            g = g.with_labels(l);
+        }
+        g
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Duplicate edges are silently deduplicated; self-loops are rejected.
+///
+/// # Examples
+///
+/// ```
+/// use lcg_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0); // duplicate, ignored
+/// let g = b.build();
+/// assert_eq!(g.m(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> GraphBuilder {
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 range");
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        assert!(u != v, "self-loops are not allowed (simple graphs only)");
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        let (a, b) = (u.min(v) as u32, u.max(v) as u32);
+        self.edges.push((a, b));
+        self
+    }
+
+    /// Adds every edge from an iterator of `(u, v)` pairs.
+    pub fn extend_edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, it: I) -> &mut Self {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Finalizes the graph, deduplicating edges and sorting adjacency lists.
+    pub fn build(self) -> Graph {
+        let mut edges = self.edges;
+        edges.sort_unstable();
+        edges.dedup();
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.n];
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            adj[u as usize].push((v, e as u32));
+            adj[v as usize].push((u, e as u32));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        Graph {
+            n: self.n,
+            edges,
+            adj,
+            weights: None,
+            labels: None,
+        }
+    }
+}
+
+impl FromIterator<(usize, usize)> for GraphBuilder {
+    /// Builds a `GraphBuilder` whose vertex count is one more than the
+    /// largest endpoint seen.
+    fn from_iter<I: IntoIterator<Item = (usize, usize)>>(iter: I) -> Self {
+        let edges: Vec<(usize, usize)> = iter.into_iter().collect();
+        let n = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) + 1)
+            .max()
+            .unwrap_or(0);
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(edges);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 1..n {
+            b.add_edge(i - 1, i);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builds_simple_graph() {
+        let g = path(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn dedups_parallel_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1);
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = path(4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.edge_id(2, 3), Some(2));
+        assert_eq!(g.endpoints(g.edge_id(1, 2).unwrap()), (1, 2));
+    }
+
+    #[test]
+    fn bfs_and_diameter() {
+        let g = path(6);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(g.diameter(), Some(5));
+        assert_eq!(g.diameter_lower_bound(), 5);
+        assert_eq!(g.eccentricity(2), 3);
+    }
+
+    #[test]
+    fn components() {
+        let g = path(3).disjoint_union(&path(2));
+        let (comp, k) = g.connected_components();
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter(), None);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_weights() {
+        let g = path(4).with_weights(vec![10, 20, 30]);
+        let (h, map) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(h.n(), 3);
+        assert_eq!(h.m(), 2);
+        assert_eq!(map, vec![1, 2, 3]);
+        assert_eq!(h.total_weight(), 50);
+    }
+
+    #[test]
+    fn edge_subgraph_keeps_isolated_vertices() {
+        let g = path(4);
+        let h = g.edge_subgraph(&[0]);
+        assert_eq!(h.n(), 4);
+        assert_eq!(h.m(), 1);
+        assert_eq!(h.degree(3), 0);
+    }
+
+    #[test]
+    fn remove_edges_removes() {
+        let g = path(4);
+        let h = g.remove_edges(&[1]);
+        assert_eq!(h.m(), 2);
+        assert!(!h.has_edge(1, 2));
+    }
+
+    #[test]
+    fn boundary_of_prefix() {
+        let g = path(5);
+        let in_set = vec![true, true, false, false, false];
+        let b = g.boundary(&in_set);
+        assert_eq!(b.len(), 1);
+        assert_eq!(g.endpoints(b[0]), (1, 2));
+    }
+
+    #[test]
+    fn degeneracy_of_path_is_one() {
+        let (_, d) = path(10).degeneracy_ordering();
+        assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn degeneracy_of_complete_graph() {
+        let mut b = GraphBuilder::new(5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v);
+            }
+        }
+        let (order, d) = b.build().degeneracy_ordering();
+        assert_eq!(order.len(), 5);
+        assert_eq!(d, 4);
+    }
+
+    #[test]
+    fn volume_counts_degrees() {
+        let g = path(4);
+        assert_eq!(g.volume(0..4), 2 * g.m());
+        assert_eq!(g.volume([1, 2]), 4);
+    }
+
+    #[test]
+    fn labels_default_positive() {
+        let g = path(3);
+        assert_eq!(g.label(0), Sign::Positive);
+        let g = g.with_labels(vec![Sign::Negative, Sign::Positive]);
+        assert_eq!(g.label(0), Sign::Negative);
+        assert!(g.is_labeled());
+    }
+
+    #[test]
+    fn from_iterator_builder() {
+        let b: GraphBuilder = [(0, 1), (1, 2), (2, 5)].into_iter().collect();
+        let g = b.build();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let g = path(2).disjoint_union(&path(3));
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(1, 2));
+    }
+}

@@ -1,0 +1,200 @@
+//! Low-out-degree edge orientations (Barenboim–Elkin / Nash-Williams).
+//!
+//! The paper (§2.2) uses the fact that an H-minor-free graph with edge
+//! density at most `d` can be oriented with out-degree `O(d)` in `O(log n)`
+//! CONGEST rounds, so each vertex only needs to forward `O(1)` edges of its
+//! cluster topology to the leader. This module provides the sequential
+//! reference: the *H-partition* into `O(log n)` layers (each layer = the
+//! vertices of degree ≤ (2+ε)·d when the previous layers are removed) and
+//! the induced orientation. The round-faithful distributed version lives in
+//! `lcg-congest::primitives`.
+
+use crate::graph::Graph;
+
+/// An acyclic edge orientation given by the H-partition.
+#[derive(Debug, Clone)]
+pub struct Orientation {
+    /// Layer index of each vertex (0-based).
+    pub layer: Vec<usize>,
+    /// Number of layers (the distributed algorithm takes one round per
+    /// layer, so this is `O(log n)` when the density bound is valid).
+    pub layers: usize,
+    /// `out[v]` lists the edge ids oriented *out of* `v`.
+    pub out: Vec<Vec<usize>>,
+}
+
+impl Orientation {
+    /// Maximum out-degree of the orientation.
+    pub fn max_out_degree(&self) -> usize {
+        self.out.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Head vertex of edge `e` under this orientation (the endpoint the
+    /// edge points *to*).
+    pub fn head(&self, g: &Graph, e: usize) -> usize {
+        let (u, v) = g.endpoints(e);
+        if self.out[u].contains(&e) {
+            v
+        } else {
+            u
+        }
+    }
+}
+
+/// Computes the H-partition of `g` with density bound `d` and slack
+/// `epsilon`, then orients every edge from the lower-layer endpoint to the
+/// higher-layer endpoint (ties broken toward the higher vertex id).
+///
+/// If `|E| ≤ d·|V|` holds hereditarily (true when `d` bounds the edge
+/// density of a minor-closed class containing `g`), every layer removes at
+/// least an `ε/(2+ε)` fraction of the remaining vertices, the number of
+/// layers is `O(log n)`, and the resulting out-degree is at most
+/// `⌊(2+ε)·d⌋`.
+///
+/// # Panics
+///
+/// Panics if `d <= 0` or `epsilon <= 0`.
+pub fn h_partition(g: &Graph, d: f64, epsilon: f64) -> Orientation {
+    assert!(d > 0.0, "density bound must be positive");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let n = g.n();
+    let threshold = ((2.0 + epsilon) * d).floor() as usize;
+    let mut layer = vec![usize::MAX; n];
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut l = 0usize;
+    while !active.is_empty() {
+        let peeled: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&v| deg[v] <= threshold)
+            .collect();
+        if peeled.is_empty() {
+            // The density bound was violated (g is not in the promised
+            // class). Fall back to peeling minimum-degree vertices so the
+            // function still terminates; out-degree may exceed the bound.
+            let v = *active.iter().min_by_key(|&&v| deg[v]).unwrap();
+            layer[v] = l;
+            for u in g.neighbor_vertices(v) {
+                deg[u] = deg[u].saturating_sub(1);
+            }
+            active.retain(|&u| u != v);
+            l += 1;
+            continue;
+        }
+        for &v in &peeled {
+            layer[v] = l;
+        }
+        for &v in &peeled {
+            for u in g.neighbor_vertices(v) {
+                deg[u] = deg[u].saturating_sub(1);
+            }
+        }
+        active.retain(|&v| layer[v] == usize::MAX);
+        l += 1;
+    }
+    let mut out = vec![Vec::new(); n];
+    for (e, u, v) in g.edges() {
+        // orient from lower layer to higher layer; within a layer toward
+        // the larger id, so the orientation is acyclic.
+        let tail = match layer[u].cmp(&layer[v]) {
+            std::cmp::Ordering::Less => u,
+            std::cmp::Ordering::Greater => v,
+            std::cmp::Ordering::Equal => u.min(v),
+        };
+        out[tail].push(e);
+    }
+    Orientation { layer, layers: l, out }
+}
+
+/// Orientation along a degeneracy ordering: out-degree equals the
+/// degeneracy exactly. Slightly better constants than [`h_partition`] but
+/// inherently sequential (Θ(n) "rounds"); used as the quality baseline.
+pub fn degeneracy_orientation(g: &Graph) -> Orientation {
+    let (order, _) = g.degeneracy_ordering();
+    let mut pos = vec![0usize; g.n()];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v] = i;
+    }
+    let mut out = vec![Vec::new(); g.n()];
+    for (e, u, v) in g.edges() {
+        let tail = if pos[u] < pos[v] { u } else { v };
+        out[tail].push(e);
+    }
+    Orientation {
+        layer: pos,
+        layers: g.n(),
+        out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn tree_orientation_out_degree() {
+        let mut rng = gen::seeded_rng(70);
+        let g = gen::random_tree(100, &mut rng);
+        let o = h_partition(&g, 1.0, 1.0);
+        assert!(o.max_out_degree() <= 3, "got {}", o.max_out_degree());
+        assert!(o.layers <= 30);
+        let total: usize = o.out.iter().map(Vec::len).sum();
+        assert_eq!(total, g.m());
+    }
+
+    #[test]
+    fn planar_orientation_constant_out_degree() {
+        let mut rng = gen::seeded_rng(71);
+        let g = gen::stacked_triangulation(300, &mut rng);
+        let o = h_partition(&g, 3.0, 0.5);
+        // out-degree is bounded by ⌊(2+ε)·d⌋ = 10
+        assert!(o.max_out_degree() <= 10, "got {}", o.max_out_degree());
+        // planar graphs peel fast: O(log n) layers
+        assert!(o.layers <= 24, "got {} layers", o.layers);
+    }
+
+    #[test]
+    fn degeneracy_orientation_matches_degeneracy() {
+        let mut rng = gen::seeded_rng(72);
+        let g = gen::ktree(50, 3, &mut rng);
+        let o = degeneracy_orientation(&g);
+        assert_eq!(o.max_out_degree(), 3);
+    }
+
+    #[test]
+    fn every_edge_oriented_once() {
+        let g = gen::grid(6, 6);
+        let o = h_partition(&g, 2.0, 0.5);
+        let mut seen = vec![false; g.m()];
+        for v in 0..g.n() {
+            for &e in &o.out[v] {
+                assert!(!seen[e], "edge {e} oriented twice");
+                seen[e] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn head_is_other_endpoint() {
+        let g = gen::cycle(5);
+        let o = h_partition(&g, 1.0, 0.5);
+        for (e, u, v) in g.edges() {
+            let h = o.head(&g, e);
+            assert!(h == u || h == v);
+            let tail = if h == u { v } else { u };
+            assert!(o.out[tail].contains(&e));
+        }
+    }
+
+    #[test]
+    fn fallback_terminates_on_dense_graph() {
+        // density bound 1 is wrong for K6; the fallback must still finish.
+        let g = gen::complete(6);
+        let o = h_partition(&g, 1.0, 0.5);
+        let total: usize = o.out.iter().map(Vec::len).sum();
+        assert_eq!(total, g.m());
+    }
+}

@@ -1,0 +1,382 @@
+//! Sequential low-diameter decompositions (paper §3.5).
+//!
+//! Two algorithms with the two guarantees the experiments compare:
+//!
+//! * [`ball_growing_ldd`] — exponential-shift ball growing: strong-diameter
+//!   clusters of radius `O(log n / ε)` with expected cut fraction `≤ ε`.
+//!   This is the *general-graph* guarantee, the baseline of Experiment E9.
+//! * [`layered_ldd`] — KPR-style iterated BFS-band chopping (Klein–
+//!   Plotkin–Rao \[68\], Fakcharoenphol–Talwar \[40\], Abraham et al. \[1\]):
+//!   for H-minor-free graphs, `r` chopping iterations with band width
+//!   `Θ(r/ε)` give diameter `O(r²/ε)` — `O(1/ε)` with the constant
+//!   depending only on H — and expected cut fraction ≤ ε. This is the
+//!   algorithm cluster leaders run in Theorem 1.5.
+
+use lcg_graph::Graph;
+use rand::Rng;
+
+/// A low-diameter decomposition.
+#[derive(Debug, Clone)]
+pub struct Ldd {
+    /// Cluster id per vertex.
+    pub cluster_of: Vec<usize>,
+    /// Number of clusters.
+    pub k: usize,
+}
+
+impl Ldd {
+    /// Fraction of edges cut.
+    pub fn cut_fraction(&self, g: &Graph) -> f64 {
+        if g.m() == 0 {
+            return 0.0;
+        }
+        let cut = g
+            .edges()
+            .filter(|&(_, u, v)| self.cluster_of[u] != self.cluster_of[v])
+            .count();
+        cut as f64 / g.m() as f64
+    }
+
+    /// Maximum strong diameter over clusters (∞ ⇒ `usize::MAX` should not
+    /// occur: clusters are connected by construction for both algorithms
+    /// after componentization).
+    pub fn max_diameter(&self, g: &Graph) -> usize {
+        let mut members: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for (v, &c) in self.cluster_of.iter().enumerate() {
+            members.entry(c).or_default().push(v);
+        }
+        let mut worst = 0;
+        for (_, vs) in members {
+            let (sub, _) = g.induced_subgraph(&vs);
+            match sub.diameter() {
+                Some(d) => worst = worst.max(d),
+                None => return usize::MAX,
+            }
+        }
+        worst
+    }
+
+    /// Renames cluster ids so each cluster induces a connected subgraph
+    /// (splits disconnected clusters into components).
+    fn componentize(mut self, g: &Graph) -> Ldd {
+        let n = g.n();
+        let mut new_id = vec![usize::MAX; n];
+        let mut next = 0;
+        for s in 0..n {
+            if new_id[s] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![s];
+            new_id[s] = next;
+            while let Some(v) = stack.pop() {
+                for u in g.neighbor_vertices(v) {
+                    if new_id[u] == usize::MAX && self.cluster_of[u] == self.cluster_of[v] {
+                        new_id[u] = next;
+                        stack.push(u);
+                    }
+                }
+            }
+            next += 1;
+        }
+        self.cluster_of = new_id;
+        self.k = next;
+        self
+    }
+}
+
+/// Exponential-shift ball growing (sequential MPX): every vertex draws a
+/// geometric delay with parameter `eps / 2`; each vertex joins the
+/// shifted-BFS wave reaching it first.
+///
+/// Guarantees: cut fraction ≤ ε in expectation, strong cluster diameter
+/// `O(log n / ε)` w.h.p.
+pub fn ball_growing_ldd(g: &Graph, eps: f64, rng: &mut impl Rng) -> Ldd {
+    assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
+    let n = g.n();
+    if n == 0 {
+        return Ldd { cluster_of: Vec::new(), k: 0 };
+    }
+    let beta = (eps / 2.0).min(0.9);
+    let cap = ((n.max(2) as f64).ln() / beta).ceil() as usize * 2 + 2;
+    let start: Vec<usize> = (0..n)
+        .map(|_| {
+            let mut d = 0usize;
+            while d < cap && !rng.gen_bool(beta) {
+                d += 1;
+            }
+            cap - d
+        })
+        .collect();
+    // Dijkstra-like multi-source wave: key = start[v] + dist
+    let mut key = vec![usize::MAX; n];
+    let mut owner = vec![usize::MAX; n];
+    let mut heap = std::collections::BinaryHeap::new();
+    for v in 0..n {
+        heap.push(std::cmp::Reverse((start[v], v, v)));
+    }
+    while let Some(std::cmp::Reverse((k, c, v))) = heap.pop() {
+        if owner[v] != usize::MAX {
+            continue;
+        }
+        owner[v] = c;
+        key[v] = k;
+        for u in g.neighbor_vertices(v) {
+            if owner[u] == usize::MAX {
+                heap.push(std::cmp::Reverse((k + 1, c, u)));
+            }
+        }
+    }
+    Ldd {
+        cluster_of: owner,
+        k: 0,
+    }
+    .componentize(g)
+}
+
+/// KPR-style decomposition: `iterations` rounds of BFS-layer chopping with
+/// band width `width` and a uniformly random offset per piece. For
+/// `K_r`-minor-free inputs, `iterations = r` and `width = ⌈2r/ε⌉` give
+/// expected cut fraction ≤ ε and (weak) diameter `O(r·width) = O(r²/ε)`.
+/// The final pieces are componentized, so the returned clusters are
+/// connected and the *measured* diameter is reported by experiments.
+pub fn layered_ldd(g: &Graph, width: usize, iterations: usize, rng: &mut impl Rng) -> Ldd {
+    assert!(width >= 1, "band width must be >= 1");
+    let n = g.n();
+    let mut piece: Vec<usize> = vec![0; n];
+    let mut next_piece = 1;
+    for _ in 0..iterations {
+        let mut new_piece = vec![usize::MAX; n];
+        let mut members: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for v in 0..n {
+            members.entry(piece[v]).or_default().push(v);
+        }
+        for (_, vs) in members {
+            let (sub, map) = g.induced_subgraph(&vs);
+            let offset = rng.gen_range(0..width);
+            // BFS from the first vertex of each component of the piece
+            let (comp, k) = sub.connected_components();
+            let mut source_of = vec![usize::MAX; k];
+            for v in 0..sub.n() {
+                if source_of[comp[v]] == usize::MAX {
+                    source_of[comp[v]] = v;
+                }
+            }
+            for c in 0..k {
+                let dist = sub.bfs_distances(source_of[c]);
+                for v in 0..sub.n() {
+                    if comp[v] != c {
+                        continue;
+                    }
+                    let band = (dist[v] + offset) / width;
+                    // piece id: globally unique per (old piece comp, band)
+                    new_piece[map[v]] = next_piece + band;
+                }
+                let max_band = (0..sub.n())
+                    .filter(|&v| comp[v] == c)
+                    .map(|v| (dist[v] + offset) / width)
+                    .max()
+                    .unwrap_or(0);
+                next_piece += max_band + 1;
+            }
+        }
+        piece = new_piece;
+    }
+    Ldd {
+        cluster_of: piece,
+        k: 0,
+    }
+    .componentize(g)
+}
+
+/// Weighted low-diameter decomposition (the Czygrinow–Hańćkowiak–
+/// Wawrzyniak guarantee mentioned in §1.1 / Theorem 1.5's related work):
+/// the *weight* of inter-cluster edges is at most an ε fraction of the
+/// total edge weight, with diameter still `O(1/ε)` (hop diameter — the
+/// chopping is hop-based; weights only steer which bands get re-chopped).
+///
+/// Implementation: run [`layered_ldd`] with independent random offsets
+/// `retries` times and keep the decomposition with the lightest cut.
+/// Each run cuts ≤ ε of the *weight* in expectation (each edge is cut
+/// with probability ≤ ε independently of its weight, because band
+/// boundaries are uniformly shifted), so the best-of-k concentrates well
+/// below ε.
+pub fn weighted_minor_free_ldd(g: &Graph, eps: f64, retries: usize, rng: &mut impl Rng) -> Ldd {
+    assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
+    assert!(retries >= 1, "need at least one attempt");
+    let iterations = 3;
+    let width = ((2 * iterations) as f64 / eps).ceil() as usize;
+    let total_w = g.total_weight().max(1);
+    let cut_weight = |ldd: &Ldd| -> u64 {
+        g.edges()
+            .filter(|&(_, u, v)| ldd.cluster_of[u] != ldd.cluster_of[v])
+            .map(|(e, _, _)| g.weight(e))
+            .sum()
+    };
+    let mut best: Option<(u64, Ldd)> = None;
+    for _ in 0..retries {
+        let cand = layered_ldd(g, width, iterations, rng);
+        let w = cut_weight(&cand);
+        if best.as_ref().is_none_or(|(bw, _)| w < *bw) {
+            best = Some((w, cand));
+        }
+        if let Some((bw, _)) = &best {
+            if (*bw as f64) <= eps * total_w as f64 / 2.0 {
+                break; // already comfortably inside budget
+            }
+        }
+    }
+    best.expect("retries >= 1").1
+}
+
+/// Weight of the inter-cluster edges of a decomposition.
+pub fn cut_weight(g: &Graph, ldd: &Ldd) -> u64 {
+    g.edges()
+        .filter(|&(_, u, v)| ldd.cluster_of[u] != ldd.cluster_of[v])
+        .map(|(e, _, _)| g.weight(e))
+        .sum()
+}
+
+/// Convenience wrapper used by Theorem 1.5's leaders: `layered_ldd` with
+/// `iterations = 3` (planar = K₅-minor-free needs ≤ 4; 3 suffices for the
+/// families we generate) and width `⌈2·iterations/ε⌉`.
+pub fn minor_free_ldd(g: &Graph, eps: f64, rng: &mut impl Rng) -> Ldd {
+    assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
+    let iterations = 3;
+    let width = ((2 * iterations) as f64 / eps).ceil() as usize;
+    layered_ldd(g, width, iterations, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcg_graph::gen;
+
+    #[test]
+    fn ball_growing_covers_and_bounds_diameter() {
+        let mut rng = gen::seeded_rng(190);
+        let g = gen::grid(16, 16);
+        let ldd = ball_growing_ldd(&g, 0.3, &mut rng);
+        assert_eq!(ldd.cluster_of.len(), g.n());
+        let d = ldd.max_diameter(&g);
+        assert!(d < usize::MAX);
+        // radius <= 2 * cap
+        let cap = ((g.n() as f64).ln() / 0.15).ceil() as usize * 2 + 2;
+        assert!(d <= 2 * cap);
+    }
+
+    #[test]
+    fn ball_growing_cut_fraction_reasonable() {
+        let mut rng = gen::seeded_rng(191);
+        let g = gen::grid(20, 20);
+        let mut total = 0.0;
+        for _ in 0..5 {
+            total += ball_growing_ldd(&g, 0.3, &mut rng).cut_fraction(&g);
+        }
+        assert!(total / 5.0 <= 0.4, "avg cut fraction {}", total / 5.0);
+    }
+
+    #[test]
+    fn layered_ldd_diameter_scales_with_width() {
+        let mut rng = gen::seeded_rng(192);
+        let g = gen::grid(24, 24);
+        let tight = layered_ldd(&g, 3, 3, &mut rng);
+        let loose = layered_ldd(&g, 12, 3, &mut rng);
+        assert!(tight.max_diameter(&g) <= loose.max_diameter(&g) + 4);
+        assert!(tight.cut_fraction(&g) >= loose.cut_fraction(&g));
+    }
+
+    #[test]
+    fn minor_free_ldd_epsilon_tradeoff() {
+        let mut rng = gen::seeded_rng(193);
+        let g = gen::triangulated_grid(20, 20);
+        for eps in [0.2, 0.5] {
+            let mut cuts = 0.0;
+            let mut dmax = 0usize;
+            for _ in 0..3 {
+                let ldd = minor_free_ldd(&g, eps, &mut rng);
+                cuts += ldd.cut_fraction(&g);
+                dmax = dmax.max(ldd.max_diameter(&g));
+            }
+            // expected cut fraction <= eps (allow sampling slack)
+            assert!(cuts / 3.0 <= eps * 1.8, "eps {eps} cut {}", cuts / 3.0);
+            // diameter O(1/eps): 3 iterations, width 6/eps; weak diameter
+            // <= 3 * width * 2 = 36/eps; allow componentization slack
+            assert!(
+                dmax as f64 <= 60.0 / eps,
+                "eps {eps} diameter {dmax}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_ldd_optimal_tradeoff() {
+        // the paper: cycles witness D = Θ(1/ε) optimality
+        let mut rng = gen::seeded_rng(194);
+        let g = gen::cycle(200);
+        let ldd = minor_free_ldd(&g, 0.25, &mut rng);
+        assert!(ldd.cut_fraction(&g) <= 0.25 * 2.0);
+        assert!(ldd.max_diameter(&g) >= 1);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let mut rng = gen::seeded_rng(195);
+        let g = lcg_graph::GraphBuilder::new(0).build();
+        let ldd = ball_growing_ldd(&g, 0.5, &mut rng);
+        assert_eq!(ldd.k, 0);
+        let g = gen::path(2);
+        let ldd = minor_free_ldd(&g, 0.5, &mut rng);
+        assert_eq!(ldd.cluster_of.len(), 2);
+    }
+
+    #[test]
+    fn weighted_ldd_respects_weight_budget() {
+        let mut rng = gen::seeded_rng(197);
+        // adversarial: a band of huge-weight edges through the middle
+        let g = gen::grid(20, 20);
+        let weights: Vec<u64> = g
+            .edges()
+            .map(|(_, u, v)| {
+                let row = |x: usize| x / 20;
+                if row(u) == 10 || row(v) == 10 {
+                    1000
+                } else {
+                    1
+                }
+            })
+            .collect();
+        let g = g.with_weights(weights);
+        let eps = 0.3;
+        let ldd = weighted_minor_free_ldd(&g, eps, 8, &mut rng);
+        let cw = cut_weight(&g, &ldd) as f64;
+        assert!(
+            cw <= eps * g.total_weight() as f64,
+            "cut weight {cw} of {}",
+            g.total_weight()
+        );
+        assert!(ldd.max_diameter(&g) < usize::MAX);
+    }
+
+    #[test]
+    fn weighted_ldd_unweighted_degenerates() {
+        let mut rng = gen::seeded_rng(198);
+        let g = gen::triangulated_grid(12, 12);
+        let ldd = weighted_minor_free_ldd(&g, 0.4, 3, &mut rng);
+        assert!(ldd.cut_fraction(&g) <= 0.4 * 1.5);
+    }
+
+    #[test]
+    fn clusters_are_connected_after_componentize() {
+        let mut rng = gen::seeded_rng(196);
+        let g = gen::random_planar(200, 0.5, &mut rng);
+        let ldd = minor_free_ldd(&g, 0.3, &mut rng);
+        let mut members: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for (v, &c) in ldd.cluster_of.iter().enumerate() {
+            members.entry(c).or_default().push(v);
+        }
+        for (_, vs) in members {
+            let (sub, _) = g.induced_subgraph(&vs);
+            assert!(sub.is_connected());
+        }
+    }
+}

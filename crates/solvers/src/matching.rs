@@ -1,0 +1,309 @@
+//! Maximum cardinality matching: Edmonds' blossom algorithm, `O(V³)`.
+//!
+//! This is the exact sequential solver a cluster leader runs in
+//! Theorem 3.2's planar MCM algorithm, and the optimum-oracle used by the
+//! matching experiments. The implementation is the classic base/blossom
+//! contraction formulation.
+
+use std::collections::VecDeque;
+
+use lcg_graph::Graph;
+
+const NONE: usize = usize::MAX;
+
+/// A matching, as a partner table.
+#[derive(Debug, Clone)]
+pub struct Matching {
+    /// `mate[v]` is the vertex matched to `v`, or `None`.
+    pub mate: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// Number of matched edges.
+    pub fn size(&self) -> usize {
+        self.mate.iter().flatten().count() / 2
+    }
+
+    /// The matched edges as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (v, &m) in self.mate.iter().enumerate() {
+            if let Some(u) = m {
+                if v < u {
+                    out.push((v, u));
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks validity against a graph: partners are symmetric and every
+    /// matched pair is an edge.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        for (v, &m) in self.mate.iter().enumerate() {
+            if let Some(u) = m {
+                if self.mate[u] != Some(v) || !g.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Computes a maximum cardinality matching of `g` (Edmonds' blossom
+/// algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use lcg_graph::gen;
+/// use lcg_solvers::matching::maximum_matching;
+///
+/// let m = maximum_matching(&gen::cycle(9));
+/// assert_eq!(m.size(), 4); // ν(C9) = ⌊9/2⌋
+/// ```
+pub fn maximum_matching(g: &Graph) -> Matching {
+    let n = g.n();
+    let adj: Vec<Vec<usize>> = (0..n).map(|v| g.neighbor_vertices(v).collect()).collect();
+    let mut st = Blossom {
+        adj: &adj,
+        n,
+        mate: vec![NONE; n],
+        p: vec![NONE; n],
+        base: (0..n).collect(),
+        used: vec![false; n],
+        blossom: vec![false; n],
+    };
+    // greedy initialization speeds things up considerably
+    for v in 0..n {
+        if st.mate[v] == NONE {
+            for &u in &adj[v] {
+                if st.mate[u] == NONE {
+                    st.mate[v] = u;
+                    st.mate[u] = v;
+                    break;
+                }
+            }
+        }
+    }
+    for v in 0..n {
+        if st.mate[v] == NONE {
+            st.find_augmenting_path(v);
+        }
+    }
+    Matching {
+        mate: st
+            .mate
+            .iter()
+            .map(|&m| if m == NONE { None } else { Some(m) })
+            .collect(),
+    }
+}
+
+struct Blossom<'a> {
+    adj: &'a [Vec<usize>],
+    n: usize,
+    mate: Vec<usize>,
+    p: Vec<usize>,
+    base: Vec<usize>,
+    used: Vec<bool>,
+    blossom: Vec<bool>,
+}
+
+impl<'a> Blossom<'a> {
+    fn lca(&self, mut a: usize, mut b: usize) -> usize {
+        let mut marked = vec![false; self.n];
+        loop {
+            a = self.base[a];
+            marked[a] = true;
+            if self.mate[a] == NONE {
+                break;
+            }
+            a = self.p[self.mate[a]];
+        }
+        loop {
+            b = self.base[b];
+            if marked[b] {
+                return b;
+            }
+            b = self.p[self.mate[b]];
+        }
+    }
+
+    fn mark_path(&mut self, mut v: usize, b: usize, mut child: usize) {
+        while self.base[v] != b {
+            self.blossom[self.base[v]] = true;
+            self.blossom[self.base[self.mate[v]]] = true;
+            self.p[v] = child;
+            child = self.mate[v];
+            v = self.p[self.mate[v]];
+        }
+    }
+
+    fn find_augmenting_path(&mut self, root: usize) -> bool {
+        self.used = vec![false; self.n];
+        self.p = vec![NONE; self.n];
+        self.base = (0..self.n).collect();
+        self.used[root] = true;
+        let mut q = VecDeque::new();
+        q.push_back(root);
+        while let Some(v) = q.pop_front() {
+            for i in 0..self.adj[v].len() {
+                let u = self.adj[v][i];
+                if self.base[v] == self.base[u] || self.mate[v] == u {
+                    continue;
+                }
+                if u == root || (self.mate[u] != NONE && self.p[self.mate[u]] != NONE) {
+                    // odd cycle: contract the blossom
+                    let b = self.lca(v, u);
+                    self.blossom = vec![false; self.n];
+                    self.mark_path(v, b, u);
+                    self.mark_path(u, b, v);
+                    for i in 0..self.n {
+                        if self.blossom[self.base[i]] {
+                            self.base[i] = b;
+                            if !self.used[i] {
+                                self.used[i] = true;
+                                q.push_back(i);
+                            }
+                        }
+                    }
+                } else if self.p[u] == NONE {
+                    self.p[u] = v;
+                    if self.mate[u] == NONE {
+                        // augmenting path found: flip along parents
+                        let mut u = u;
+                        while u != NONE {
+                            let pv = self.p[u];
+                            let ppv = self.mate[pv];
+                            self.mate[u] = pv;
+                            self.mate[pv] = u;
+                            u = ppv;
+                        }
+                        return true;
+                    } else {
+                        let w = self.mate[u];
+                        self.used[w] = true;
+                        q.push_back(w);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcg_graph::gen;
+
+    #[test]
+    fn path_matching() {
+        for n in [2usize, 3, 4, 7, 10] {
+            let g = gen::path(n);
+            let m = maximum_matching(&g);
+            assert!(m.is_valid(&g));
+            assert_eq!(m.size(), n / 2, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn odd_cycle_needs_blossom() {
+        for n in [3usize, 5, 9, 15] {
+            let g = gen::cycle(n);
+            let m = maximum_matching(&g);
+            assert!(m.is_valid(&g));
+            assert_eq!(m.size(), n / 2, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn petersen_has_perfect_matching() {
+        let mut b = lcg_graph::GraphBuilder::new(10);
+        for i in 0..5 {
+            b.add_edge(i, (i + 1) % 5);
+            b.add_edge(5 + i, 5 + (i + 2) % 5);
+            b.add_edge(i, i + 5);
+        }
+        let g = b.build();
+        let m = maximum_matching(&g);
+        assert!(m.is_valid(&g));
+        assert_eq!(m.size(), 5);
+    }
+
+    #[test]
+    fn complete_graphs() {
+        assert_eq!(maximum_matching(&gen::complete(6)).size(), 3);
+        assert_eq!(maximum_matching(&gen::complete(7)).size(), 3);
+    }
+
+    #[test]
+    fn star_matches_one() {
+        let m = maximum_matching(&gen::star(8));
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn two_triangles_bridge() {
+        // two triangles joined by an edge: perfect matching exists
+        let mut b = lcg_graph::GraphBuilder::new(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(3, 4);
+        b.add_edge(4, 5);
+        b.add_edge(3, 5);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let m = maximum_matching(&g);
+        assert!(m.is_valid(&g));
+        assert_eq!(m.size(), 3);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = gen::seeded_rng(160);
+        for _ in 0..30 {
+            let g = gen::gnm(10, 14, &mut rng);
+            let m = maximum_matching(&g);
+            assert!(m.is_valid(&g));
+            assert_eq!(m.size(), brute_force_nu(&g), "graph {g:?}");
+        }
+    }
+
+    #[test]
+    fn large_planar_instance_runs() {
+        let mut rng = gen::seeded_rng(161);
+        let g = gen::stacked_triangulation(500, &mut rng);
+        let m = maximum_matching(&g);
+        assert!(m.is_valid(&g));
+        // maximal planar graphs on n >= 4 vertices have near-perfect
+        // matchings; at the very least a maximal matching of size n/4
+        assert!(m.size() >= 125);
+    }
+
+    /// Brute force ν(G) by trying all edge subsets (tiny graphs only).
+    fn brute_force_nu(g: &Graph) -> usize {
+        let edges: Vec<(usize, usize)> = g.edges().map(|(_, u, v)| (u, v)).collect();
+        let m = edges.len();
+        let mut best = 0;
+        'outer: for mask in 0u32..(1 << m) {
+            let mut used = vec![false; g.n()];
+            let mut size = 0;
+            for (i, &(u, v)) in edges.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    if used[u] || used[v] {
+                        continue 'outer;
+                    }
+                    used[u] = true;
+                    used[v] = true;
+                    size += 1;
+                }
+            }
+            best = best.max(size);
+        }
+        best
+    }
+}

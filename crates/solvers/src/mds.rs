@@ -1,0 +1,283 @@
+//! Minimum dominating set: exact branch-and-bound plus greedy.
+//!
+//! Not used by any theorem in the paper directly — it powers the
+//! **extension** application `lcg-core::apps::mds` (bounded-degree planar
+//! (1+ε)-MDS), following the line of LOCAL-model work the paper cites
+//! ([5, 29, 30]: Czygrinow et al. dominating sets on planar /
+//! bounded-genus graphs) that the framework finally ports to CONGEST.
+
+use lcg_graph::Graph;
+
+/// Result of a dominating-set computation.
+#[derive(Debug, Clone)]
+pub struct MdsResult {
+    /// The dominating set.
+    pub set: Vec<usize>,
+    /// `true` iff the search proved optimality.
+    pub optimal: bool,
+    /// Search nodes explored.
+    pub nodes: u64,
+}
+
+/// Checks that `set` dominates every vertex of `g` (each vertex is in the
+/// set or adjacent to a member).
+pub fn is_dominating_set(g: &Graph, set: &[usize]) -> bool {
+    let mut dominated = vec![false; g.n()];
+    for &v in set {
+        dominated[v] = true;
+        for u in g.neighbor_vertices(v) {
+            dominated[u] = true;
+        }
+    }
+    dominated.iter().all(|&d| d)
+}
+
+/// Greedy dominating set: repeatedly take the vertex covering the most
+/// currently-undominated vertices. `(ln Δ + 2)`-approximate; used as the
+/// branch-and-bound incumbent and as the experiments' baseline.
+pub fn greedy_mds(g: &Graph) -> Vec<usize> {
+    let n = g.n();
+    let mut dominated = vec![false; n];
+    let mut remaining = n;
+    let mut set = Vec::new();
+    while remaining > 0 {
+        let mut best = usize::MAX;
+        let mut best_gain = 0usize;
+        for v in 0..n {
+            let mut gain = usize::from(!dominated[v]);
+            for u in g.neighbor_vertices(v) {
+                gain += usize::from(!dominated[u]);
+            }
+            if gain > best_gain {
+                best_gain = gain;
+                best = v;
+            }
+        }
+        debug_assert!(best != usize::MAX);
+        set.push(best);
+        if !dominated[best] {
+            dominated[best] = true;
+            remaining -= 1;
+        }
+        for u in g.neighbor_vertices(best) {
+            if !dominated[u] {
+                dominated[u] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    set.sort_unstable();
+    set
+}
+
+/// Exact minimum dominating set by branch-and-bound: pick an undominated
+/// vertex `v` of minimum closed-neighborhood size and branch over every
+/// way to dominate it (each `u ∈ N[v]` joins the set). Lower bound:
+/// undominated vertices can be covered at rate ≤ Δ+1 per pick.
+///
+/// Exploration capped at `budget` nodes; on exhaustion the greedy
+/// incumbent (or best found) is returned with `optimal: false`.
+pub fn minimum_dominating_set(g: &Graph, budget: u64) -> MdsResult {
+    let n = g.n();
+    let incumbent = greedy_mds(g);
+    let mut s = Solver {
+        g,
+        dominated_by: vec![0u32; n],
+        in_set: vec![false; n],
+        current: Vec::new(),
+        best: incumbent,
+        nodes: 0,
+        budget,
+        exhausted: false,
+        delta_plus_1: g.max_degree() + 1,
+    };
+    s.search();
+    let mut set = s.best;
+    set.sort_unstable();
+    debug_assert!(is_dominating_set(g, &set));
+    MdsResult {
+        set,
+        optimal: !s.exhausted,
+        nodes: s.nodes,
+    }
+}
+
+struct Solver<'a> {
+    g: &'a Graph,
+    /// How many set members dominate each vertex.
+    dominated_by: Vec<u32>,
+    in_set: Vec<bool>,
+    current: Vec<usize>,
+    best: Vec<usize>,
+    nodes: u64,
+    budget: u64,
+    exhausted: bool,
+    delta_plus_1: usize,
+}
+
+impl<'a> Solver<'a> {
+    fn add(&mut self, v: usize) {
+        self.in_set[v] = true;
+        self.current.push(v);
+        self.dominated_by[v] += 1;
+        for u in self.g.neighbor_vertices(v) {
+            self.dominated_by[u] += 1;
+        }
+    }
+
+    fn remove(&mut self, v: usize) {
+        self.in_set[v] = false;
+        self.current.pop();
+        self.dominated_by[v] -= 1;
+        for u in self.g.neighbor_vertices(v) {
+            self.dominated_by[u] -= 1;
+        }
+    }
+
+    fn search(&mut self) {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            self.exhausted = true;
+            return;
+        }
+        // find the undominated vertex with the smallest closed neighborhood
+        // (most constrained choice)
+        let mut pick = usize::MAX;
+        let mut pick_size = usize::MAX;
+        let mut undominated = 0usize;
+        for v in 0..self.g.n() {
+            if self.dominated_by[v] == 0 {
+                undominated += 1;
+                let size = self.g.degree(v) + 1;
+                if size < pick_size {
+                    pick_size = size;
+                    pick = v;
+                }
+            }
+        }
+        if pick == usize::MAX {
+            // everything dominated
+            if self.current.len() < self.best.len() {
+                self.best = self.current.clone();
+            }
+            return;
+        }
+        // lower bound: each future pick dominates at most Δ+1 vertices
+        let lb = self.current.len() + undominated.div_ceil(self.delta_plus_1);
+        if lb >= self.best.len() {
+            return;
+        }
+        // branch: some u in N[pick] must be in the set
+        let mut candidates: Vec<usize> = vec![pick];
+        candidates.extend(self.g.neighbor_vertices(pick));
+        // prefer high-coverage candidates first for better incumbents
+        candidates.sort_by_key(|&u| {
+            std::cmp::Reverse(
+                usize::from(self.dominated_by[u] == 0)
+                    + self
+                        .g
+                        .neighbor_vertices(u)
+                        .filter(|&w| self.dominated_by[w] == 0)
+                        .count(),
+            )
+        });
+        for u in candidates {
+            if self.in_set[u] {
+                continue;
+            }
+            self.add(u);
+            self.search();
+            self.remove(u);
+            if self.exhausted {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcg_graph::gen;
+
+    const B: u64 = 20_000_000;
+
+    #[test]
+    fn star_needs_one() {
+        let r = minimum_dominating_set(&gen::star(10), B);
+        assert!(r.optimal);
+        assert_eq!(r.set, vec![0]);
+    }
+
+    #[test]
+    fn path_mds() {
+        // γ(P_n) = ⌈n/3⌉
+        for n in [1usize, 2, 3, 4, 6, 9, 10] {
+            let r = minimum_dominating_set(&gen::path(n), B);
+            assert!(r.optimal);
+            assert_eq!(r.set.len(), n.div_ceil(3), "n = {n}");
+            assert!(is_dominating_set(&gen::path(n), &r.set));
+        }
+    }
+
+    #[test]
+    fn cycle_mds() {
+        // γ(C_n) = ⌈n/3⌉
+        for n in [3usize, 5, 6, 9, 11] {
+            let r = minimum_dominating_set(&gen::cycle(n), B);
+            assert!(r.optimal);
+            assert_eq!(r.set.len(), n.div_ceil(3), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let mut rng = gen::seeded_rng(300);
+        for _ in 0..15 {
+            let g = gen::gnm(10, 15, &mut rng);
+            let r = minimum_dominating_set(&g, B);
+            assert!(r.optimal);
+            assert!(is_dominating_set(&g, &r.set));
+            assert_eq!(r.set.len(), brute_force_gamma(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_is_valid_and_not_better_than_exact() {
+        let mut rng = gen::seeded_rng(301);
+        let g = gen::random_planar(60, 0.5, &mut rng);
+        let greedy = greedy_mds(&g);
+        assert!(is_dominating_set(&g, &greedy));
+        let exact = minimum_dominating_set(&g, 100_000_000);
+        assert!(exact.set.len() <= greedy.len());
+    }
+
+    #[test]
+    fn grid_instance() {
+        let g = gen::grid(5, 5);
+        let r = minimum_dominating_set(&g, 100_000_000);
+        assert!(r.optimal);
+        assert_eq!(r.set.len(), 7); // γ of the 5x5 grid graph
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_incumbent() {
+        let mut rng = gen::seeded_rng(302);
+        let g = gen::erdos_renyi(40, 0.2, &mut rng);
+        let r = minimum_dominating_set(&g, 3);
+        assert!(!r.optimal);
+        assert!(is_dominating_set(&g, &r.set));
+    }
+
+    fn brute_force_gamma(g: &lcg_graph::Graph) -> usize {
+        let n = g.n();
+        (0u32..(1 << n))
+            .filter(|&mask| {
+                let set: Vec<usize> = (0..n).filter(|&v| mask >> v & 1 == 1).collect();
+                is_dominating_set(g, &set)
+            })
+            .map(|mask| mask.count_ones() as usize)
+            .min()
+            .unwrap()
+    }
+}

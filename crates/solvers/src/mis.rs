@@ -1,0 +1,404 @@
+//! Maximum independent set solvers — the sequential algorithm a cluster
+//! leader runs in Theorem 1.2.
+//!
+//! [`maximum_independent_set`] is an exact branch-and-bound with the
+//! classic reductions (isolated vertices, pendant vertices, paths/cycles
+//! solved in closed form) and a matching-based upper bound; it comfortably
+//! handles the sparse clusters the framework produces. [`greedy_mis`] is
+//! the `n/(2d+1)` greedy of §3.1 used both as a lower-bound witness for
+//! `α(G) = Θ(n)` and as the branch-and-bound's initial incumbent.
+
+use lcg_graph::Graph;
+
+/// Result of an exact MIS computation.
+#[derive(Debug, Clone)]
+pub struct MisResult {
+    /// Vertices of the independent set found.
+    pub set: Vec<usize>,
+    /// `true` if the search completed (the set is optimal); `false` if the
+    /// node budget ran out (the set is the best incumbent found).
+    pub optimal: bool,
+    /// Search nodes explored.
+    pub nodes: u64,
+}
+
+/// Greedy independent set: repeatedly take a minimum-degree vertex and
+/// delete its closed neighborhood. On a graph of edge density ≤ d this
+/// yields at least `n / (2d + 1)` vertices — the §3.1 lower bound for
+/// `α(G) = Θ(n)` on H-minor-free graphs.
+pub fn greedy_mis(g: &Graph) -> Vec<usize> {
+    let n = g.n();
+    let mut active = vec![true; n];
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut picked = Vec::new();
+    let mut remaining = n;
+    while remaining > 0 {
+        let v = (0..n)
+            .filter(|&v| active[v])
+            .min_by_key(|&v| deg[v])
+            .unwrap();
+        picked.push(v);
+        // remove N[v]
+        let mut to_remove = vec![v];
+        to_remove.extend(g.neighbor_vertices(v).filter(|&u| active[u]));
+        for &u in &to_remove {
+            if active[u] {
+                active[u] = false;
+                remaining -= 1;
+                for w in g.neighbor_vertices(u) {
+                    if active[w] {
+                        deg[w] -= 1;
+                    }
+                }
+            }
+        }
+    }
+    picked.sort_unstable();
+    picked
+}
+
+/// Verifies that `set` is an independent set of `g`.
+pub fn is_independent_set(g: &Graph, set: &[usize]) -> bool {
+    let mut in_set = vec![false; g.n()];
+    for &v in set {
+        if in_set[v] {
+            return false; // duplicate
+        }
+        in_set[v] = true;
+    }
+    g.edges().all(|(_, u, v)| !(in_set[u] && in_set[v]))
+}
+
+/// Exact maximum independent set by branch-and-bound, exploring at most
+/// `budget` search nodes.
+///
+/// # Examples
+///
+/// ```
+/// use lcg_graph::gen;
+/// use lcg_solvers::mis::maximum_independent_set;
+///
+/// let g = gen::cycle(9);
+/// let r = maximum_independent_set(&g, 1_000_000);
+/// assert!(r.optimal);
+/// assert_eq!(r.set.len(), 4); // α(C9) = ⌊9/2⌋
+/// ```
+pub fn maximum_independent_set(g: &Graph, budget: u64) -> MisResult {
+    let n = g.n();
+    let incumbent = greedy_mis(g);
+    let mut solver = Solver {
+        g,
+        adj: (0..n).map(|v| g.neighbor_vertices(v).collect()).collect(),
+        active: vec![true; n],
+        deg: (0..n).map(|v| g.degree(v)).collect(),
+        current: Vec::new(),
+        best: incumbent.clone(),
+        nodes: 0,
+        budget,
+        exhausted: false,
+    };
+    solver.search();
+    let optimal = !solver.exhausted;
+    let mut set = solver.best;
+    set.sort_unstable();
+    debug_assert!(is_independent_set(g, &set));
+    MisResult {
+        set,
+        optimal,
+        nodes: solver.nodes,
+    }
+}
+
+struct Solver<'a> {
+    g: &'a Graph,
+    adj: Vec<Vec<usize>>,
+    active: Vec<bool>,
+    deg: Vec<usize>,
+    current: Vec<usize>,
+    best: Vec<usize>,
+    nodes: u64,
+    budget: u64,
+    exhausted: bool,
+}
+
+impl<'a> Solver<'a> {
+    /// Removes `v` (and bookkeeping); returns it for undo.
+    fn remove(&mut self, v: usize) {
+        debug_assert!(self.active[v]);
+        self.active[v] = false;
+        for i in 0..self.adj[v].len() {
+            let u = self.adj[v][i];
+            if self.active[u] {
+                self.deg[u] -= 1;
+            }
+        }
+    }
+
+    fn restore(&mut self, v: usize) {
+        debug_assert!(!self.active[v]);
+        self.active[v] = true;
+        for i in 0..self.adj[v].len() {
+            let u = self.adj[v][i];
+            if self.active[u] {
+                self.deg[u] += 1;
+            }
+        }
+    }
+
+    /// Takes `v` into the set: removes N[v]. Returns removed vertices.
+    fn take(&mut self, v: usize) -> Vec<usize> {
+        let mut removed = vec![v];
+        self.remove(v);
+        for i in 0..self.adj[v].len() {
+            let u = self.adj[v][i];
+            if self.active[u] {
+                self.remove(u);
+                removed.push(u);
+            }
+        }
+        self.current.push(v);
+        removed
+    }
+
+    fn undo_take(&mut self, removed: Vec<usize>) {
+        self.current.pop();
+        for &u in removed.iter().rev() {
+            self.restore(u);
+        }
+    }
+
+    /// Upper bound: active count minus a greedy maximal matching (each
+    /// matched edge excludes at least one endpoint).
+    fn upper_bound(&self) -> usize {
+        let mut matched = vec![false; self.g.n()];
+        let mut matching = 0usize;
+        let mut count = 0usize;
+        for v in 0..self.g.n() {
+            if !self.active[v] {
+                continue;
+            }
+            count += 1;
+            if matched[v] {
+                continue;
+            }
+            for &u in &self.adj[v] {
+                if self.active[u] && !matched[u] && u > v {
+                    matched[v] = true;
+                    matched[u] = true;
+                    matching += 1;
+                    break;
+                }
+            }
+        }
+        count - matching
+    }
+
+    fn search(&mut self) {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            self.exhausted = true;
+            return;
+        }
+        // reductions: isolated and pendant vertices are always safe to take
+        let n = self.g.n();
+        let mut reduction_stack: Vec<Vec<usize>> = Vec::new();
+        loop {
+            let mut applied = false;
+            for v in 0..n {
+                if self.active[v] && self.deg[v] <= 1 {
+                    reduction_stack.push(self.take(v));
+                    applied = true;
+                    break;
+                }
+            }
+            if !applied {
+                break;
+            }
+        }
+        let remaining: Vec<usize> = (0..n).filter(|&v| self.active[v]).collect();
+        if remaining.is_empty() {
+            if self.current.len() > self.best.len() {
+                self.best = self.current.clone();
+            }
+        } else if self.current.len() + self.upper_bound() > self.best.len() {
+            // max degree >= 2 here; if max degree == 2 the graph is a union
+            // of cycles: solve directly
+            let v = *remaining.iter().max_by_key(|&&v| self.deg[v]).unwrap();
+            if self.deg[v] == 2 {
+                let extra = self.solve_cycles(&remaining);
+                if self.current.len() + extra.len() > self.best.len() {
+                    let mut cand = self.current.clone();
+                    cand.extend(extra);
+                    self.best = cand;
+                }
+            } else {
+                // branch: include v, then exclude v
+                let removed = self.take(v);
+                self.search();
+                self.undo_take(removed);
+                if !self.exhausted {
+                    self.remove(v);
+                    self.search();
+                    self.restore(v);
+                }
+            }
+        }
+        for removed in reduction_stack.into_iter().rev() {
+            self.undo_take(removed);
+        }
+    }
+
+    /// All active vertices have degree exactly 2: disjoint cycles. α of a
+    /// cycle of length L is ⌊L/2⌋; pick alternate vertices.
+    fn solve_cycles(&self, remaining: &[usize]) -> Vec<usize> {
+        let mut visited = vec![false; self.g.n()];
+        let mut picked = Vec::new();
+        for &s in remaining {
+            if visited[s] {
+                continue;
+            }
+            // walk the cycle
+            let mut cycle = vec![s];
+            visited[s] = true;
+            let mut prev = s;
+            let mut cur = s;
+            loop {
+                let next = self.adj[cur]
+                    .iter()
+                    .copied()
+                    .find(|&u| self.active[u] && u != prev && !visited[u]);
+                match next {
+                    Some(u) => {
+                        visited[u] = true;
+                        cycle.push(u);
+                        prev = cur;
+                        cur = u;
+                    }
+                    None => break,
+                }
+            }
+            // alternate picks: indices 0, 2, 4, ..., skipping the last if
+            // the cycle length is odd
+            let take = cycle.len() / 2;
+            for i in 0..take {
+                picked.push(cycle[2 * i]);
+            }
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcg_graph::gen;
+
+    const B: u64 = 10_000_000;
+
+    #[test]
+    fn path_alpha() {
+        for n in [1usize, 2, 3, 4, 7, 10] {
+            let r = maximum_independent_set(&gen::path(n), B);
+            assert!(r.optimal);
+            assert_eq!(r.set.len(), n.div_ceil(2), "n = {n}");
+            assert!(is_independent_set(&gen::path(n), &r.set));
+        }
+    }
+
+    #[test]
+    fn cycle_alpha() {
+        for n in [3usize, 4, 5, 8, 11] {
+            let r = maximum_independent_set(&gen::cycle(n), B);
+            assert!(r.optimal);
+            assert_eq!(r.set.len(), n / 2, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_alpha_one() {
+        let r = maximum_independent_set(&gen::complete(8), B);
+        assert!(r.optimal);
+        assert_eq!(r.set.len(), 1);
+    }
+
+    #[test]
+    fn bipartite_alpha() {
+        let r = maximum_independent_set(&gen::complete_bipartite(4, 7), B);
+        assert!(r.optimal);
+        assert_eq!(r.set.len(), 7);
+    }
+
+    #[test]
+    fn grid_alpha_is_half() {
+        // α of a 2D grid = ⌈n/2⌉ (checkerboard)
+        let g = gen::grid(5, 5);
+        let r = maximum_independent_set(&g, B);
+        assert!(r.optimal);
+        assert_eq!(r.set.len(), 13);
+        assert!(is_independent_set(&g, &r.set));
+    }
+
+    #[test]
+    fn star_alpha() {
+        let r = maximum_independent_set(&gen::star(9), B);
+        assert_eq!(r.set.len(), 8);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = gen::seeded_rng(150);
+        for _ in 0..20 {
+            let g = gen::gnm(12, 18, &mut rng);
+            let r = maximum_independent_set(&g, B);
+            assert!(r.optimal);
+            let brute = brute_force_alpha(&g);
+            assert_eq!(r.set.len(), brute, "mismatch on {g:?}");
+        }
+    }
+
+    #[test]
+    fn planar_cluster_sized_instance() {
+        let mut rng = gen::seeded_rng(151);
+        let g = gen::random_planar(150, 0.5, &mut rng);
+        let r = maximum_independent_set(&g, B);
+        assert!(r.optimal, "exhausted after {} nodes", r.nodes);
+        assert!(is_independent_set(&g, &r.set));
+        assert!(r.set.len() >= greedy_mis(&g).len());
+    }
+
+    #[test]
+    fn greedy_meets_density_bound() {
+        let mut rng = gen::seeded_rng(152);
+        let g = gen::stacked_triangulation(100, &mut rng);
+        let d = g.edge_density(); // < 3
+        let bound = (g.n() as f64 / (2.0 * d + 1.0)).floor() as usize;
+        assert!(greedy_mis(&g).len() >= bound);
+    }
+
+    #[test]
+    fn budget_exhaustion_keeps_incumbent() {
+        let mut rng = gen::seeded_rng(153);
+        let g = gen::erdos_renyi(40, 0.3, &mut rng);
+        let r = maximum_independent_set(&g, 5);
+        assert!(!r.optimal);
+        assert!(is_independent_set(&g, &r.set));
+        assert!(!r.set.is_empty());
+    }
+
+    fn brute_force_alpha(g: &Graph) -> usize {
+        let n = g.n();
+        let mut best = 0;
+        'outer: for mask in 0u32..(1 << n) {
+            let set: Vec<usize> = (0..n).filter(|&v| mask >> v & 1 == 1).collect();
+            for &v in &set {
+                for u in g.neighbor_vertices(v) {
+                    if mask >> u & 1 == 1 {
+                        continue 'outer;
+                    }
+                }
+            }
+            best = best.max(set.len());
+        }
+        best
+    }
+}

@@ -1,0 +1,72 @@
+//! Theorem 1.4 scenario: auditing a fleet of overlay networks for
+//! planarity, with one-sided error.
+//!
+//! A network operator wants every region's overlay to stay planar (so it
+//! can be drawn/routed on the physical substrate). Planar overlays must
+//! *never* be flagged; corrupted overlays (here: provably ε-far families
+//! of K₆ gadgets) must be caught. This is exactly the distributed
+//! property-testing contract of Theorem 1.4, generalizing
+//! Levi–Medina–Ron planarity testing.
+//!
+//! Run with: `cargo run --example property_testing`
+
+use locongest::core::apps::property_testing::{test_property, TestedProperty};
+use locongest::graph::gen;
+
+fn main() {
+    let mut rng = gen::seeded_rng(77);
+    let eps = 0.1;
+
+    println!("== healthy overlays (planar) ==");
+    for seed in 0..5u64 {
+        let g = gen::random_planar(200, 0.55, &mut rng);
+        let out = test_property(&g, eps, TestedProperty::Planar, seed);
+        println!(
+            "overlay {seed}: n={:<4} m={:<4} verdict={} rounds={} clusters={}",
+            g.n(),
+            g.m(),
+            if out.all_accept { "ACCEPT" } else { "REJECT" },
+            out.stats.rounds,
+            out.framework.clusters.len(),
+        );
+        assert!(out.all_accept, "one-sided error violated!");
+    }
+
+    println!("\n== corrupted overlays (ε-far from planar: disjoint K6 gadgets) ==");
+    let mut caught = 0;
+    let trials = 5;
+    for seed in 0..trials {
+        let g = gen::disjoint_cliques(25, 6);
+        let out = test_property(&g, eps, TestedProperty::Planar, seed);
+        println!(
+            "gadget family {seed}: verdict={} rejecting-clusters={} degree-cert-failures={}",
+            if out.all_accept { "ACCEPT" } else { "REJECT" },
+            out.rejected_clusters,
+            out.degree_condition_failures,
+        );
+        if !out.all_accept {
+            caught += 1;
+        }
+    }
+    println!("caught {caught}/{trials} corrupted overlays");
+    assert_eq!(caught, trials);
+
+    println!("\n== other minor-closed properties ==");
+    let tree = gen::random_tree(150, &mut rng);
+    let out = test_property(&tree, eps, TestedProperty::Forest, 1);
+    println!("random tree as forest: {}", verdict(out.all_accept));
+    let cyc = gen::disjoint_cliques(20, 3);
+    let out = test_property(&cyc, eps, TestedProperty::Forest, 1);
+    println!("triangle packing as forest: {}", verdict(out.all_accept));
+    let op = gen::outerplanar_maximal(100, &mut rng);
+    let out = test_property(&op, eps, TestedProperty::Outerplanar, 1);
+    println!("maximal outerplanar as outerplanar: {}", verdict(out.all_accept));
+}
+
+fn verdict(accept: bool) -> &'static str {
+    if accept {
+        "ACCEPT"
+    } else {
+        "REJECT"
+    }
+}

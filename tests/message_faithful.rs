@@ -1,0 +1,73 @@
+//! End-to-end message-faithful executions: the gathering phase runs with
+//! real 2-word token messages under the simulator's capacity enforcement
+//! (no charged rounds for the data movement).
+
+use locongest::core::framework::{run_framework, FrameworkConfig};
+use locongest::graph::gen;
+use locongest::solvers::mis;
+
+#[test]
+fn faithful_framework_gathers_everything() {
+    let mut rng = gen::seeded_rng(4000);
+    let g = gen::random_planar(120, 0.5, &mut rng);
+    let mut cfg = FrameworkConfig::planar(0.3, 11);
+    cfg.message_faithful = true;
+    let out = run_framework(&g, &cfg);
+    for c in &out.clusters {
+        assert!(c.routing.complete(), "cluster {} incomplete", c.id);
+    }
+    // real traffic was recorded and the CONGEST cap held
+    assert!(out.stats.messages > 0);
+    assert!(out.stats.max_words_edge_round <= 2);
+}
+
+#[test]
+fn faithful_and_charged_agree_on_decomposition_and_leaders() {
+    let mut rng = gen::seeded_rng(4001);
+    let g = gen::stacked_triangulation(100, &mut rng);
+    let mut cfg = FrameworkConfig::planar(0.25, 3);
+    let charged = run_framework(&g, &cfg);
+    cfg.message_faithful = true;
+    let faithful = run_framework(&g, &cfg);
+    assert_eq!(
+        charged.decomposition.cluster_of,
+        faithful.decomposition.cluster_of
+    );
+    let lc: Vec<usize> = charged.clusters.iter().map(|c| c.leader).collect();
+    let lf: Vec<usize> = faithful.clusters.iter().map(|c| c.leader).collect();
+    assert_eq!(lc, lf);
+    // costs within the E17 factor
+    let ratio = faithful.phases.gathering as f64 / charged.phases.gathering.max(1) as f64;
+    assert!(ratio < 6.0, "faithful {} charged {}", faithful.phases.gathering, charged.phases.gathering);
+}
+
+#[test]
+fn faithful_maxis_pipeline() {
+    // full Theorem 1.2 with real-message gathering: same guarantee
+    let mut rng = gen::seeded_rng(4002);
+    let g = gen::random_planar(90, 0.5, &mut rng);
+    let eps = 0.4;
+    let mut cfg = FrameworkConfig::planar(eps / 7.0, 5);
+    cfg.density_bound = 1.0;
+    cfg.message_faithful = true;
+    let fw = run_framework(&g, &cfg);
+    let mut in_set = vec![false; g.n()];
+    for c in &fw.clusters {
+        let r = mis::maximum_independent_set(&c.subgraph, 1_000_000_000);
+        assert!(r.optimal);
+        for &l in &r.set {
+            in_set[c.mapping[l]] = true;
+        }
+    }
+    for &e in &fw.decomposition.cut_edges {
+        let (u, v) = g.endpoints(e);
+        if in_set[u] && in_set[v] {
+            in_set[u.max(v)] = false;
+        }
+    }
+    let set: Vec<usize> = (0..g.n()).filter(|&v| in_set[v]).collect();
+    assert!(mis::is_independent_set(&g, &set));
+    let opt = mis::maximum_independent_set(&g, 2_000_000_000);
+    assert!(opt.optimal);
+    assert!(set.len() as f64 >= (1.0 - eps) * opt.set.len() as f64);
+}

@@ -1,0 +1,200 @@
+//! End-to-end integration tests: every theorem's pipeline, across crates,
+//! on shared workloads.
+
+use locongest::core::apps::{corrclust, ldd, maxis, mcm, mwm, property_testing};
+use locongest::core::framework::{run_framework, FrameworkConfig};
+use locongest::graph::gen;
+use locongest::solvers;
+
+#[test]
+fn theorem_2_6_full_contract() {
+    let mut rng = gen::seeded_rng(1000);
+    for (name, g, t) in [
+        ("planar", gen::random_planar(300, 0.5, &mut rng), 3.0),
+        ("ktree", gen::ktree(250, 3, &mut rng), 3.0),
+        ("torus", gen::torus_grid(15, 15), 4.0),
+    ] {
+        let eps = 0.3;
+        let out = run_framework(&g, &FrameworkConfig::minor_free(eps, t, 42));
+        out.decomposition.validate(&g).unwrap();
+        // contract 1: inter-cluster edges ≤ ε·min(|V|, |E|)
+        let bound = eps * g.n().min(g.m()) as f64;
+        assert!(
+            out.cut_edges() as f64 <= bound,
+            "{name}: {} > {bound}",
+            out.cut_edges()
+        );
+        // contract 2: every leader knows its full cluster topology
+        for c in &out.clusters {
+            assert!(c.routing.complete(), "{name}: cluster {} incomplete", c.id);
+            assert_eq!(c.subgraph.n(), c.members.len());
+        }
+        // contract 3: CONGEST discipline held throughout
+        assert!(out.stats.max_words_edge_round <= 2, "{name}");
+    }
+}
+
+#[test]
+fn theorem_1_2_maxis_end_to_end() {
+    let mut rng = gen::seeded_rng(1001);
+    let g = gen::ktree(120, 2, &mut rng);
+    let out = maxis::approx_maximum_independent_set(&g, 0.35, 2.0, 9, 50_000_000);
+    assert!(solvers::mis::is_independent_set(&g, &out.set));
+    let opt = solvers::mis::maximum_independent_set(&g, 500_000_000);
+    assert!(opt.optimal);
+    assert!(
+        out.set.len() as f64 >= (1.0 - 0.35) * opt.set.len() as f64,
+        "{} vs {}",
+        out.set.len(),
+        opt.set.len()
+    );
+}
+
+#[test]
+fn theorem_3_2_mcm_end_to_end() {
+    let mut rng = gen::seeded_rng(1002);
+    let g = gen::random_planar(200, 0.45, &mut rng);
+    let out = mcm::approx_maximum_matching(&g, 0.3, 4);
+    assert!(mcm::is_valid(&g, &out));
+    let opt = solvers::matching::maximum_matching(&g).size();
+    assert!(
+        out.size as f64 >= 0.7 * opt as f64,
+        "{} vs {opt}",
+        out.size
+    );
+}
+
+#[test]
+fn theorem_1_1_mwm_end_to_end() {
+    let mut rng = gen::seeded_rng(1003);
+    let g = gen::random_weights(gen::ktree(100, 2, &mut rng), 200, &mut rng);
+    let eps = 0.25;
+    let out = mwm::approx_maximum_weight_matching(&g, eps, 2.0, 6, mwm::recommended_iterations(eps));
+    assert!(solvers::mwm::is_valid_matching(&g, &out.mate));
+    let opt =
+        solvers::mwm::matching_weight(&g, &solvers::mwm::maximum_weight_matching(&g));
+    assert!(
+        out.weight as f64 >= (1.0 - eps) * opt as f64,
+        "{} vs {opt}",
+        out.weight
+    );
+}
+
+#[test]
+fn theorem_1_3_corrclust_end_to_end() {
+    let mut rng = gen::seeded_rng(1004);
+    let base = gen::random_planar(150, 0.5, &mut rng);
+    let comm: Vec<usize> = (0..base.n()).map(|v| v / 30).collect();
+    let g = gen::planted_labels(base, &comm, 0.1, &mut rng);
+    let out = corrclust::approx_correlation_clustering(&g, 0.3, 3.0, 2, 18);
+    // γ(G) ≥ |E|/2; guarantee (1−ε)·γ ≥ 0.35·|E|
+    assert!(out.score as f64 >= 0.35 * g.m() as f64);
+    assert!(out.stats.rounds > 0);
+}
+
+#[test]
+fn theorem_1_4_property_testing_end_to_end() {
+    let mut rng = gen::seeded_rng(1005);
+    // one-sided: planar always accepts, over several seeds and graphs
+    for seed in 0..4 {
+        let g = gen::stacked_triangulation(150, &mut rng);
+        let out = property_testing::test_property(
+            &g,
+            0.1,
+            property_testing::TestedProperty::Planar,
+            seed,
+        );
+        assert!(out.all_accept);
+    }
+    // ε-far: disjoint K6 family always rejects
+    for seed in 0..4 {
+        let g = gen::disjoint_cliques(30, 6);
+        let out = property_testing::test_property(
+            &g,
+            0.1,
+            property_testing::TestedProperty::Planar,
+            seed,
+        );
+        assert!(!out.all_accept);
+    }
+}
+
+#[test]
+fn theorem_1_5_ldd_end_to_end() {
+    let mut rng = gen::seeded_rng(1006);
+    let g = gen::random_planar(400, 0.5, &mut rng);
+    let eps = 0.3;
+    let out = ldd::low_diameter_decomposition(&g, eps, 3.0, 8);
+    assert!(out.max_diameter < usize::MAX);
+    assert!((out.max_diameter as f64) * eps <= 40.0, "D·ε = {}", out.max_diameter as f64 * eps);
+    // every vertex clustered; clusters connected
+    let members = locongest::congest::primitives::cluster_members(&out.cluster_of);
+    let covered: usize = members.values().map(Vec::len).sum();
+    assert_eq!(covered, g.n());
+}
+
+#[test]
+fn framework_vs_baselines_quality() {
+    let mut rng = gen::seeded_rng(1007);
+    let g = gen::stacked_triangulation(250, &mut rng);
+    // MAXIS: framework beats Luby's maximal-IS baseline
+    let ours = maxis::approx_maximum_independent_set(&g, 0.3, 3.0, 3, 50_000_000);
+    let (luby, _) = locongest::core::baselines::luby_mis(&g, 3);
+    assert!(
+        ours.set.len() >= luby.len(),
+        "framework {} < Luby {}",
+        ours.set.len(),
+        luby.len()
+    );
+    // MCM: framework beats the greedy maximal-matching baseline
+    let ours = mcm::approx_maximum_matching(&g, 0.2, 3.0 as u64);
+    let (greedy, _) = locongest::core::baselines::randomized_greedy_matching(&g, 3);
+    let greedy_size = greedy.iter().flatten().count() / 2;
+    assert!(ours.size >= greedy_size);
+}
+
+#[test]
+fn local_vs_congest_gap_measured() {
+    // The gap the paper is about: naive LOCAL topology gathering needs
+    // giant messages; the framework ships O(log n)-bit messages only.
+    use locongest::congest::{Model, Network};
+    let mut rng = gen::seeded_rng(1008);
+    let g = gen::random_planar(150, 0.5, &mut rng);
+    // LOCAL: everyone floods its full neighborhood r rounds; message sizes
+    // grow to Θ(m) words.
+    let mut net = Network::new(&g, Model::Local);
+    let n = g.n();
+    let mut known: Vec<Vec<u64>> = (0..n)
+        .map(|v| {
+            g.neighbor_vertices(v)
+                .map(|u| (v * n + u) as u64)
+                .collect()
+        })
+        .collect();
+    for _ in 0..3 {
+        let snapshot = known.clone();
+        net.exchange(
+            |v, out| {
+                for p in 0..g.degree(v) {
+                    out.send(p, snapshot[v].clone());
+                }
+            },
+            |v, inbox| {
+                for m in inbox.iter().flatten() {
+                    known[v].extend_from_slice(m);
+                    known[v].sort_unstable();
+                    known[v].dedup();
+                }
+            },
+        );
+    }
+    let local_stats = net.stats();
+    assert!(
+        local_stats.max_words_edge_round > 2,
+        "LOCAL gathering really used big messages: {}",
+        local_stats.max_words_edge_round
+    );
+    // CONGEST framework on the same graph stays at 2 words.
+    let fw = run_framework(&g, &FrameworkConfig::planar(0.3, 0));
+    assert!(fw.stats.max_words_edge_round <= 2);
+}
