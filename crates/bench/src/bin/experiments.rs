@@ -4,7 +4,13 @@
 //! experiments all                # every experiment, full scale
 //! experiments e4 e9 --quick      # selected experiments, CI scale
 //! experiments all --json out/    # also dump JSON per table
+//! experiments e18 --threads 8    # simulator on 8 worker threads
 //! ```
+//!
+//! `--threads N` (equivalently the `LCG_THREADS` environment variable)
+//! selects the round engine's worker-thread count. It only changes
+//! wall-clock: every experiment's numbers are bit-identical for every
+//! thread count, by the engine's determinism guarantee.
 
 use std::io::Write;
 
@@ -18,11 +24,21 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(t) = &threads {
+        // ExecConfig::from_env reads this everywhere a Network is built
+        std::env::set_var("LCG_THREADS", t);
+    }
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .filter(|a| json_dir.as_deref() != Some(a.as_str()))
+        .filter(|a| threads.as_deref() != Some(a.as_str()))
         .cloned()
         .collect();
     let registry = experiments::all();

@@ -18,11 +18,15 @@ pub mod e15_routing_ablation;
 pub mod e16_kernel_ablation;
 pub mod e17_message_faithful;
 pub mod e18_scaling;
+pub mod e19_parallel;
 
 use crate::{Scale, Table};
 
+/// An experiment entry point: scale in, tables out.
+pub type Experiment = fn(Scale) -> Vec<Table>;
+
 /// All experiment entry points, by id.
-pub fn all() -> Vec<(&'static str, fn(Scale) -> Vec<Table>)> {
+pub fn all() -> Vec<(&'static str, Experiment)> {
     vec![
         ("e1", e01_decomposition::run),
         ("e2", e02_high_degree::run),
@@ -42,5 +46,6 @@ pub fn all() -> Vec<(&'static str, fn(Scale) -> Vec<Table>)> {
         ("e16", e16_kernel_ablation::run),
         ("e17", e17_message_faithful::run),
         ("e18", e18_scaling::run),
+        ("e19", e19_parallel::run),
     ]
 }

@@ -1,9 +1,9 @@
 //! Minimal table type: aligned console printing + JSON serialization.
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 /// A labeled table of string cells.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id ("E4") and caption.
     pub id: String,
@@ -13,6 +13,18 @@ pub struct Table {
     pub headers: Vec<String>,
     /// Row-major cells.
     pub rows: Vec<Vec<String>>,
+}
+
+// Hand-written serde impl (vendored serde has no derive).
+impl Serialize for Table {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("id".to_string(), self.id.to_value()),
+            ("caption".to_string(), self.caption.to_value()),
+            ("headers".to_string(), self.headers.to_value()),
+            ("rows".to_string(), self.rows.to_value()),
+        ])
+    }
 }
 
 impl Table {

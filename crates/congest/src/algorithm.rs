@@ -102,9 +102,80 @@ pub fn run_programs<P: NodeProgram>(
         .collect()
 }
 
+/// Like [`run_programs`], but executed on the network's configured thread
+/// pool ([`crate::ExecConfig`]): each node's program, context, RNG, and
+/// inbox live in a per-vertex state record, so rounds run through
+/// [`Network::exchange_state`] and parallelize across vertices.
+///
+/// Requires `P: Send` (states migrate to worker threads). Outputs and
+/// [`crate::RoundStats`] are bit-identical to [`run_programs`] for every
+/// thread count — node programs are already forbidden from observing other
+/// nodes, which is exactly the isolation the parallel engine needs.
+///
+/// # Panics
+///
+/// Panics if `programs.len() != n`.
+pub fn run_programs_state<P>(
+    net: &mut Network,
+    programs: Vec<P>,
+    seed: u64,
+    max_rounds: usize,
+) -> Vec<P::Output>
+where
+    P: NodeProgram + Send,
+{
+    struct NodeState<P> {
+        program: P,
+        ctx: NodeCtx,
+        running: bool,
+        inbox: Vec<Option<crate::network::Message>>,
+    }
+    let n = net.graph().n();
+    assert_eq!(programs.len(), n, "one program per node");
+    let mut states: Vec<NodeState<P>> = programs
+        .into_iter()
+        .enumerate()
+        .map(|(v, program)| NodeState {
+            program,
+            ctx: NodeCtx {
+                id: v,
+                ports: net.graph().degree(v),
+                n,
+                rng: ChaCha8Rng::seed_from_u64(seed ^ (v as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+            },
+            running: true,
+            inbox: vec![None; net.graph().degree(v)],
+        })
+        .collect();
+    for round in 0..max_rounds {
+        if states.iter().all(|s| !s.running) {
+            break;
+        }
+        net.exchange_state(
+            &mut states,
+            |s, _v, out| {
+                if s.running {
+                    // disjoint field borrows: program + ctx mutable, inbox shared
+                    let keep = s.program.round(&mut s.ctx, round, &s.inbox, out);
+                    if !keep {
+                        s.running = false;
+                    }
+                }
+            },
+            |s, _v, inbox| {
+                for (p, m) in inbox.iter().enumerate() {
+                    s.inbox[p] = m.clone();
+                }
+            },
+        );
+    }
+    states.iter().map(|s| s.program.output(&s.ctx)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::ExecConfig;
     use crate::model::Model;
     use lcg_graph::gen;
 
@@ -178,6 +249,29 @@ mod tests {
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2)); // different seeds differ (w.h.p.)
+    }
+
+    #[test]
+    fn run_programs_state_matches_run_programs_bitwise() {
+        let g = gen::grid(6, 6);
+        let mut seq_net = Network::new(&g, Model::congest());
+        let seq_out = run_programs(
+            &mut seq_net,
+            (0..g.n()).map(|_| MaxIdFlood { best: 0, changed: false }).collect(),
+            7,
+            50,
+        );
+        for threads in [1, 2, 4, 8] {
+            let mut net = Network::with_exec(&g, Model::congest(), ExecConfig::with_threads(threads));
+            let out = run_programs_state(
+                &mut net,
+                (0..g.n()).map(|_| MaxIdFlood { best: 0, changed: false }).collect(),
+                7,
+                50,
+            );
+            assert_eq!(out, seq_out, "{threads} threads diverged");
+            crate::stats::compare(&seq_net.stats(), &net.stats()).unwrap();
+        }
     }
 
     #[test]

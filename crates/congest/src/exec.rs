@@ -1,0 +1,175 @@
+//! Execution configuration for the round engine.
+//!
+//! CONGEST rounds are embarrassingly parallel by definition: within one
+//! round, every vertex computes from its own state and inbox only, so the
+//! per-vertex step closures can run on any number of worker threads
+//! without changing semantics. [`ExecConfig`] selects how many threads the
+//! engine uses; the engine guarantees **bit-identical results and
+//! [`crate::RoundStats`] for every thread count** (see
+//! `Network::step_state` for how).
+//!
+//! The thread count can be set explicitly or inherited from the
+//! `LCG_THREADS` environment variable, which the bench harness and the
+//! experiments binary expose:
+//!
+//! | `LCG_THREADS`     | behavior                              |
+//! |-------------------|---------------------------------------|
+//! | unset, empty, `1` | sequential (the default)              |
+//! | `0` or `auto`     | one thread per available CPU          |
+//! | `k`               | `k` worker threads                    |
+//!
+//! # Examples
+//!
+//! ```
+//! use lcg_congest::ExecConfig;
+//!
+//! let seq = ExecConfig::sequential();
+//! assert_eq!(seq.threads(), 1);
+//! assert!(!seq.is_parallel());
+//!
+//! let four = ExecConfig::with_threads(4);
+//! assert_eq!(four.threads(), 4);
+//! // contiguous, balanced vertex partition
+//! let chunks = four.chunks(10);
+//! assert_eq!(chunks.len(), 4);
+//! assert_eq!(chunks[0], 0..3);
+//! assert_eq!(chunks[3], 8..10);
+//! ```
+
+use std::ops::Range;
+
+/// How the round engine executes per-vertex work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    threads: usize,
+}
+
+impl ExecConfig {
+    /// Single-threaded execution.
+    pub fn sequential() -> ExecConfig {
+        ExecConfig { threads: 1 }
+    }
+
+    /// Execution on `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` (use [`ExecConfig::auto`] for "all cores").
+    pub fn with_threads(threads: usize) -> ExecConfig {
+        assert!(threads >= 1, "thread count must be at least 1");
+        ExecConfig { threads }
+    }
+
+    /// One thread per available CPU.
+    pub fn auto() -> ExecConfig {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ExecConfig { threads }
+    }
+
+    /// Reads `LCG_THREADS` (see module docs); sequential when unset.
+    pub fn from_env() -> ExecConfig {
+        match std::env::var("LCG_THREADS") {
+            Err(_) => ExecConfig::sequential(),
+            Ok(s) => {
+                let s = s.trim();
+                if s.is_empty() {
+                    ExecConfig::sequential()
+                } else if s == "auto" || s == "0" {
+                    ExecConfig::auto()
+                } else {
+                    match s.parse::<usize>() {
+                        Ok(k) if k >= 1 => ExecConfig::with_threads(k),
+                        _ => panic!("LCG_THREADS must be a positive integer, 0, or 'auto'; got {s:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` when more than one thread is configured.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Partitions `0..n` into at most `threads` contiguous, balanced
+    /// chunks (never empty unless `n == 0`). Chunk order is ascending, so
+    /// concatenating per-chunk results in chunk order reproduces vertex
+    /// order — the invariant every deterministic merge in the engine
+    /// relies on.
+    pub fn chunks(&self, n: usize) -> Vec<Range<usize>> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = self.threads.min(n);
+        let base = n / k;
+        let extra = n % k;
+        let mut out = Vec::with_capacity(k);
+        let mut start = 0;
+        for i in 0..k {
+            let len = base + usize::from(i < extra);
+            out.push(start..start + len);
+            start += len;
+        }
+        debug_assert_eq!(start, n);
+        out
+    }
+}
+
+impl Default for ExecConfig {
+    /// The ambient configuration: [`ExecConfig::from_env`].
+    fn default() -> ExecConfig {
+        ExecConfig::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_partition_exactly() {
+        for threads in 1..9 {
+            let cfg = ExecConfig::with_threads(threads);
+            for n in [0usize, 1, 2, 7, 16, 1000, 1001] {
+                let chunks = cfg.chunks(n);
+                // contiguous cover of 0..n
+                let mut expect = 0;
+                for c in &chunks {
+                    assert_eq!(c.start, expect);
+                    expect = c.end;
+                }
+                assert_eq!(expect, n);
+                // balanced within 1
+                if !chunks.is_empty() && n > 0 {
+                    let min = chunks.iter().map(|c| c.len()).min().unwrap();
+                    let max = chunks.iter().map(|c| c.len()).max().unwrap();
+                    assert!(max - min <= 1, "unbalanced: {chunks:?}");
+                    assert!(min >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn never_more_chunks_than_vertices() {
+        let cfg = ExecConfig::with_threads(8);
+        assert_eq!(cfg.chunks(3).len(), 3);
+        assert_eq!(cfg.chunks(0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_rejected() {
+        ExecConfig::with_threads(0);
+    }
+
+    #[test]
+    fn auto_has_at_least_one_thread() {
+        assert!(ExecConfig::auto().threads() >= 1);
+    }
+}

@@ -33,12 +33,14 @@
 //! ```
 
 pub mod algorithm;
+pub mod exec;
 mod model;
 mod network;
 pub mod primitives;
-mod stats;
+pub mod stats;
 
-pub use algorithm::{run_programs, NodeCtx, NodeProgram};
+pub use algorithm::{run_programs, run_programs_state, NodeCtx, NodeProgram};
+pub use exec::ExecConfig;
 pub use model::Model;
 pub use network::{Inbox, Message, Network, Outbox};
 pub use stats::RoundStats;

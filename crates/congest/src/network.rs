@@ -8,9 +8,35 @@
 //! outbox. The engine enforces the model's per-edge capacity — an oversized
 //! send in CONGEST mode panics, so a test passing is a proof that the
 //! algorithm really fit its messages into `O(log n)` bits.
+//!
+//! # Execution model
+//!
+//! Within a round every vertex reads only its own state and inbox, so the
+//! per-vertex closures are data-independent and the engine can run them on
+//! a pool of worker threads ([`ExecConfig`]). The parallel path is built
+//! so that **results and [`RoundStats`] are bit-identical for every thread
+//! count**:
+//!
+//! 1. vertices are partitioned into contiguous chunks, one per worker;
+//! 2. each worker writes outboxes into its own chunk of the outbox buffer
+//!    and tallies `messages`/`words`/`max_words` into a chunk-local
+//!    counter — no shared atomics on the hot path;
+//! 3. at the join barrier the chunk counters are merged in chunk order
+//!    (sums and maxima, so the result equals the sequential tally), and
+//!    messages are delivered into `pending` by a deterministic
+//!    vertex-order sweep.
+//!
+//! Two API families exist because parallelism needs `Fn + Sync`:
+//!
+//! * [`Network::step`]/[`Network::exchange`] accept `FnMut` closures that
+//!   may capture shared mutable state; they always run sequentially.
+//! * [`Network::step_state`]/[`Network::exchange_state`] split mutable
+//!   state per vertex (`&mut [S]`) and run on the configured thread pool;
+//!   [`Network::par_step`] is the stateless variant.
 
 use lcg_graph::Graph;
 
+use crate::exec::ExecConfig;
 use crate::model::Model;
 use crate::stats::RoundStats;
 
@@ -43,9 +69,27 @@ pub type Inbox = [Option<Message>];
 /// assert_eq!(stats.rounds, 1);
 /// assert_eq!(stats.messages, 10); // 2 per vertex
 /// ```
+///
+/// The same round on four worker threads — identical statistics, as the
+/// engine guarantees for any thread count:
+///
+/// ```
+/// use lcg_congest::{ExecConfig, Model, Network};
+/// use lcg_graph::gen;
+///
+/// let g = gen::cycle(5);
+/// let mut net = Network::with_exec(&g, Model::congest(), ExecConfig::with_threads(4));
+/// net.par_step(|v, _inbox, out| {
+///     for p in 0..out.ports() {
+///         out.send(p, vec![v as u64]);
+///     }
+/// });
+/// assert_eq!(net.stats().messages, 10);
+/// ```
 pub struct Network<'g> {
     g: &'g Graph,
     model: Model,
+    exec: ExecConfig,
     stats: RoundStats,
     /// `pending[v][p]`: message awaiting delivery to `v` on port `p`.
     pending: Vec<Vec<Option<Message>>>,
@@ -93,25 +137,170 @@ impl<'a> Outbox<'a> {
     }
 }
 
+/// Chunk-local message counters, merged at the join barrier.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChunkCounters {
+    messages: u64,
+    words: u64,
+    max_words: usize,
+}
+
+impl ChunkCounters {
+    /// Tallies one vertex's composed outbox.
+    #[inline]
+    fn count(&mut self, slots: &[Option<Message>]) {
+        for msg in slots.iter().flatten() {
+            self.messages += 1;
+            self.words += msg.len() as u64;
+            self.max_words = self.max_words.max(msg.len());
+        }
+    }
+
+    /// Merges another chunk's counters (sums and maxima: associative and
+    /// commutative, so the chunk-order fold equals the sequential tally).
+    fn merge(&mut self, other: &ChunkCounters) {
+        self.messages += other.messages;
+        self.words += other.words;
+        self.max_words = self.max_words.max(other.max_words);
+    }
+}
+
+/// Runs the send closure over every vertex, chunked across the configured
+/// threads, writing outboxes and chunk-local counters. Free function (not
+/// a method) so it borrows only the pieces of the network it needs.
+fn compose_outboxes<S, F>(
+    exec: &ExecConfig,
+    cap: Option<usize>,
+    states: &mut [S],
+    inboxes: &[Vec<Option<Message>>],
+    outgoing: &mut [Vec<Option<Message>>],
+    f: &F,
+) -> ChunkCounters
+where
+    S: Send,
+    F: Fn(&mut S, usize, &Inbox, &mut Outbox) + Sync,
+{
+    let n = states.len();
+    let chunks = exec.chunks(n);
+    if chunks.len() <= 1 {
+        let mut counters = ChunkCounters::default();
+        for (v, (state, slots)) in states.iter_mut().zip(outgoing.iter_mut()).enumerate() {
+            let mut out = Outbox { slots, capacity: cap, vertex: v };
+            f(state, v, &inboxes[v], &mut out);
+            counters.count(slots);
+        }
+        return counters;
+    }
+    let mut counters = vec![ChunkCounters::default(); chunks.len()];
+    std::thread::scope(|scope| {
+        let mut states_rest = states;
+        let mut outgoing_rest = outgoing;
+        let mut handles = Vec::with_capacity(chunks.len());
+        for (range, counter) in chunks.iter().zip(counters.iter_mut()) {
+            let (states_chunk, tail) = states_rest.split_at_mut(range.len());
+            states_rest = tail;
+            let (out_chunk, tail) = outgoing_rest.split_at_mut(range.len());
+            outgoing_rest = tail;
+            let start = range.start;
+            handles.push(scope.spawn(move || {
+                let mut local = ChunkCounters::default();
+                for (i, (state, slots)) in
+                    states_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
+                {
+                    let v = start + i;
+                    let mut out = Outbox { slots, capacity: cap, vertex: v };
+                    f(state, v, &inboxes[v], &mut out);
+                    local.count(slots);
+                }
+                *counter = local;
+            }));
+        }
+        // the join is the barrier; joining explicitly (in chunk order)
+        // lets a worker panic — e.g. a CONGEST violation — re-raise on
+        // the caller's thread with its original payload, never a hang
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    let mut total = ChunkCounters::default();
+    for c in &counters {
+        total.merge(c);
+    }
+    total
+}
+
+/// Runs a receive closure over every vertex, chunked across threads.
+fn consume_inboxes<S, R>(exec: &ExecConfig, states: &mut [S], inboxes: &[Vec<Option<Message>>], r: &R)
+where
+    S: Send,
+    R: Fn(&mut S, usize, &Inbox) + Sync,
+{
+    let n = states.len();
+    let chunks = exec.chunks(n);
+    if chunks.len() <= 1 {
+        for (v, state) in states.iter_mut().enumerate() {
+            r(state, v, &inboxes[v]);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut states_rest = states;
+        let mut handles = Vec::with_capacity(chunks.len());
+        for range in &chunks {
+            let (states_chunk, tail) = states_rest.split_at_mut(range.len());
+            states_rest = tail;
+            let start = range.start;
+            handles.push(scope.spawn(move || {
+                for (i, state) in states_chunk.iter_mut().enumerate() {
+                    r(state, start + i, &inboxes[start + i]);
+                }
+            }));
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
 impl<'g> Network<'g> {
-    /// Creates a network over `g` under `model`.
+    /// Creates a network over `g` under `model`, with the execution
+    /// configuration taken from the environment
+    /// ([`ExecConfig::from_env`], i.e. `LCG_THREADS`).
     pub fn new(g: &'g Graph, model: Model) -> Network<'g> {
+        Network::with_exec(g, model, ExecConfig::from_env())
+    }
+
+    /// Creates a network with an explicit execution configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcg_congest::{ExecConfig, Model, Network};
+    /// let g = lcg_graph::gen::grid(4, 4);
+    /// let net = Network::with_exec(&g, Model::congest(), ExecConfig::with_threads(2));
+    /// assert_eq!(net.exec().threads(), 2);
+    /// ```
+    pub fn with_exec(g: &'g Graph, model: Model, exec: ExecConfig) -> Network<'g> {
         let mut reverse = vec![Vec::new(); g.n()];
-        for v in 0..g.n() {
-            for (p, (u, _)) in g.neighbors(v).enumerate() {
+        for (v, rev) in reverse.iter_mut().enumerate() {
+            for (u, _) in g.neighbors(v) {
                 // find v's position in u's sorted adjacency
                 let q = g
                     .neighbors(u)
                     .position(|(w, _)| w == v)
                     .expect("adjacency must be symmetric");
-                reverse[v].push((u, q));
-                let _ = p;
+                rev.push((u, q));
             }
         }
         let pending = (0..g.n()).map(|v| vec![None; g.degree(v)]).collect();
         Network {
             g,
             model,
+            exec,
             stats: RoundStats::default(),
             pending,
             reverse,
@@ -128,6 +317,17 @@ impl<'g> Network<'g> {
         self.model
     }
 
+    /// The execution configuration.
+    pub fn exec(&self) -> ExecConfig {
+        self.exec
+    }
+
+    /// Replaces the execution configuration (e.g. to compare thread
+    /// counts on one network). Never changes results — only speed.
+    pub fn set_exec(&mut self, exec: ExecConfig) {
+        self.exec = exec;
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> RoundStats {
         self.stats
@@ -138,56 +338,144 @@ impl<'g> Network<'g> {
         std::mem::take(&mut self.stats)
     }
 
+    /// Fresh (empty) per-vertex port buffers.
+    fn fresh_buffers(&self) -> Vec<Vec<Option<Message>>> {
+        (0..self.g.n()).map(|v| vec![None; self.g.degree(v)]).collect()
+    }
+
+    /// Delivers composed outboxes into `pending` by a vertex-order sweep.
+    /// Pure moves — all counting already happened at the compose barrier.
+    fn deliver(&mut self, outgoing: &mut [Vec<Option<Message>>]) {
+        for (v, out_v) in outgoing.iter_mut().enumerate() {
+            for (p, slot) in out_v.iter_mut().enumerate() {
+                if let Some(msg) = slot.take() {
+                    let (u, q) = self.reverse[v][p];
+                    self.pending[u][q] = Some(msg);
+                }
+            }
+        }
+    }
+
+    /// Folds one round's counters into the running statistics.
+    fn account(&mut self, counters: ChunkCounters) {
+        self.stats.messages += counters.messages;
+        self.stats.words += counters.words;
+        self.stats.max_words_edge_round = self.stats.max_words_edge_round.max(counters.max_words);
+        self.stats.rounds += 1;
+    }
+
     /// Executes one synchronous round.
     ///
     /// `f(v, inbox, outbox)` is called once per vertex; the inbox holds the
     /// messages sent to `v` in the previous round. Messages written to the
     /// outbox are delivered at the *next* round, as in the synchronous
     /// model.
+    ///
+    /// This variant accepts `FnMut` (closures capturing shared mutable
+    /// state) and therefore always runs sequentially regardless of
+    /// [`ExecConfig`]; use [`Network::par_step`] or
+    /// [`Network::step_state`] for the parallel engine.
     pub fn step<F>(&mut self, mut f: F)
     where
         F: FnMut(usize, &Inbox, &mut Outbox),
     {
-        let n = self.g.n();
         let cap = self.model.capacity();
-        let inboxes = std::mem::replace(
-            &mut self.pending,
-            (0..n).map(|v| vec![None; self.g.degree(v)]).collect(),
-        );
-        let mut outgoing: Vec<Vec<Option<Message>>> =
-            (0..n).map(|v| vec![None; self.g.degree(v)]).collect();
+        let fresh = self.fresh_buffers();
+        let inboxes = std::mem::replace(&mut self.pending, fresh);
+        let mut outgoing = self.fresh_buffers();
+        let mut counters = ChunkCounters::default();
         for (v, (inbox, slots)) in inboxes.iter().zip(outgoing.iter_mut()).enumerate() {
-            let mut out = Outbox {
-                slots,
-                capacity: cap,
-                vertex: v,
-            };
+            let mut out = Outbox { slots, capacity: cap, vertex: v };
             f(v, inbox, &mut out);
+            counters.count(slots);
         }
-        // route and account
-        let mut max_words = self.stats.max_words_edge_round;
-        for v in 0..n {
-            for (p, slot) in outgoing[v].iter_mut().enumerate() {
-                if let Some(msg) = slot.take() {
-                    self.stats.messages += 1;
-                    self.stats.words += msg.len() as u64;
-                    max_words = max_words.max(msg.len());
-                    let (u, q) = self.reverse[v][p];
-                    self.pending[u][q] = Some(msg);
-                }
-            }
-        }
-        self.stats.max_words_edge_round = max_words;
-        self.stats.rounds += 1;
+        self.deliver(&mut outgoing);
+        self.account(counters);
     }
 
-    /// Runs `rounds` rounds of the same step closure.
+    /// Executes one synchronous round with per-vertex state on the
+    /// configured thread pool.
+    ///
+    /// `states[v]` is vertex `v`'s private state; `f(state, v, inbox,
+    /// outbox)` may mutate it freely. Because state is split per vertex
+    /// the closure is `Fn + Sync` and rounds parallelize; the contiguous
+    /// chunking + chunk-order merge guarantee outputs and [`RoundStats`]
+    /// are **bit-identical for every thread count** (see module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != n`. A panic inside `f` on a worker
+    /// thread (e.g. a CONGEST violation) is re-raised on the caller's
+    /// thread with the original message after all workers joined — never
+    /// a hang.
+    pub fn step_state<S, F>(&mut self, states: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, usize, &Inbox, &mut Outbox) + Sync,
+    {
+        assert_eq!(states.len(), self.g.n(), "one state per vertex");
+        let cap = self.model.capacity();
+        let fresh = self.fresh_buffers();
+        let inboxes = std::mem::replace(&mut self.pending, fresh);
+        let mut outgoing = self.fresh_buffers();
+        let counters = compose_outboxes(&self.exec, cap, states, &inboxes, &mut outgoing, &f);
+        self.deliver(&mut outgoing);
+        self.account(counters);
+    }
+
+    /// Stateless parallel round: like [`Network::step`] but with a
+    /// `Fn + Sync` closure so vertices run on the configured thread pool.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcg_congest::{ExecConfig, Model, Network};
+    /// let g = lcg_graph::gen::grid(8, 8);
+    /// let mut net = Network::with_exec(&g, Model::congest(), ExecConfig::with_threads(4));
+    /// net.par_step(|v, _inbox, out| {
+    ///     if v == 0 { out.send(0, vec![42]); }
+    /// });
+    /// assert_eq!(net.stats().messages, 1);
+    /// ```
+    pub fn par_step<F>(&mut self, f: F)
+    where
+        F: Fn(usize, &Inbox, &mut Outbox) + Sync,
+    {
+        let mut unit: Vec<()> = vec![(); self.g.n()];
+        self.step_state(&mut unit, |_, v, inbox, out| f(v, inbox, out));
+    }
+
+    /// Runs `rounds` rounds of the same step closure (sequential `FnMut`
+    /// variant).
     pub fn run<F>(&mut self, rounds: usize, mut f: F)
     where
         F: FnMut(usize, &Inbox, &mut Outbox),
     {
         for _ in 0..rounds {
             self.step(&mut f);
+        }
+    }
+
+    /// Runs `rounds` rounds of the same stateless closure on the
+    /// configured thread pool.
+    pub fn par_run<F>(&mut self, rounds: usize, f: F)
+    where
+        F: Fn(usize, &Inbox, &mut Outbox) + Sync,
+    {
+        for _ in 0..rounds {
+            self.par_step(&f);
+        }
+    }
+
+    /// Runs `rounds` rounds of the same per-vertex-state closure on the
+    /// configured thread pool.
+    pub fn run_state<S, F>(&mut self, rounds: usize, states: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, usize, &Inbox, &mut Outbox) + Sync,
+    {
+        for _ in 0..rounds {
+            self.step_state(states, &f);
         }
     }
 
@@ -199,6 +487,9 @@ impl<'g> Network<'g> {
     ///
     /// Do not mix with in-flight [`Network::step`] messages: `exchange`
     /// ignores the pending buffer (debug builds assert it is empty).
+    ///
+    /// `FnMut` variant — always sequential; see
+    /// [`Network::exchange_state`] for the parallel engine.
     pub fn exchange<S, R>(&mut self, mut send: S, mut recv: R)
     where
         S: FnMut(usize, &mut Outbox),
@@ -208,37 +499,70 @@ impl<'g> Network<'g> {
             self.pending.iter().all(|ps| ps.iter().all(Option::is_none)),
             "exchange called with undelivered step() messages pending"
         );
-        let n = self.g.n();
         let cap = self.model.capacity();
-        let mut outgoing: Vec<Vec<Option<Message>>> =
-            (0..n).map(|v| vec![None; self.g.degree(v)]).collect();
+        let mut outgoing = self.fresh_buffers();
+        let mut counters = ChunkCounters::default();
         for (v, slots) in outgoing.iter_mut().enumerate() {
-            let mut out = Outbox {
-                slots,
-                capacity: cap,
-                vertex: v,
-            };
+            let mut out = Outbox { slots, capacity: cap, vertex: v };
             send(v, &mut out);
+            counters.count(slots);
         }
-        let mut inboxes: Vec<Vec<Option<Message>>> =
-            (0..n).map(|v| vec![None; self.g.degree(v)]).collect();
-        let mut max_words = self.stats.max_words_edge_round;
-        for v in 0..n {
-            for (p, slot) in outgoing[v].iter_mut().enumerate() {
+        let inboxes = self.route_exchange(&mut outgoing);
+        self.account(counters);
+        for (v, inbox) in inboxes.iter().enumerate() {
+            recv(v, inbox);
+        }
+    }
+
+    /// Parallel `exchange`: per-vertex state, `Fn + Sync` closures, and
+    /// the same determinism guarantee as [`Network::step_state`]. The
+    /// send phase, the receive phase, and the per-chunk statistics all
+    /// run chunked on the configured thread pool; delivery between the
+    /// two phases is a deterministic vertex-order sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != n`.
+    pub fn exchange_state<St, S, R>(&mut self, states: &mut [St], send: S, recv: R)
+    where
+        St: Send,
+        S: Fn(&mut St, usize, &mut Outbox) + Sync,
+        R: Fn(&mut St, usize, &Inbox) + Sync,
+    {
+        assert_eq!(states.len(), self.g.n(), "one state per vertex");
+        debug_assert!(
+            self.pending.iter().all(|ps| ps.iter().all(Option::is_none)),
+            "exchange_state called with undelivered step() messages pending"
+        );
+        let cap = self.model.capacity();
+        let empty_inboxes = self.fresh_buffers();
+        let mut outgoing = self.fresh_buffers();
+        let counters = compose_outboxes(
+            &self.exec,
+            cap,
+            states,
+            &empty_inboxes,
+            &mut outgoing,
+            &|state, v, _inbox, out| send(state, v, out),
+        );
+        let inboxes = self.route_exchange(&mut outgoing);
+        self.account(counters);
+        consume_inboxes(&self.exec, states, &inboxes, &recv);
+    }
+
+    /// Moves exchange outboxes to receiver-side inboxes (vertex order;
+    /// pure moves, no counting).
+    fn route_exchange(&mut self, outgoing: &mut [Vec<Option<Message>>]) -> Vec<Vec<Option<Message>>> {
+        let mut inboxes = self.fresh_buffers();
+        for (v, out_v) in outgoing.iter_mut().enumerate() {
+            for (p, slot) in out_v.iter_mut().enumerate() {
                 if let Some(msg) = slot.take() {
-                    self.stats.messages += 1;
-                    self.stats.words += msg.len() as u64;
-                    max_words = max_words.max(msg.len());
                     let (u, q) = self.reverse[v][p];
                     inboxes[u][q] = Some(msg);
                 }
             }
         }
-        self.stats.max_words_edge_round = max_words;
-        self.stats.rounds += 1;
-        for (v, inbox) in inboxes.iter().enumerate() {
-            recv(v, inbox);
-        }
+        inboxes
     }
 
     /// Merges externally-measured statistics into this network's counters
@@ -271,6 +595,7 @@ impl<'g> Network<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats;
     use lcg_graph::gen;
 
     #[test]
@@ -302,6 +627,19 @@ mod tests {
         let g = gen::path(2);
         let mut net = Network::new(&g, Model::Congest { words_per_edge: 1 });
         net.step(|_, _, out| out.send(0, vec![1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "CONGEST violation")]
+    fn oversized_message_panics_in_parallel_worker() {
+        let g = gen::grid(8, 8);
+        let mut net =
+            Network::with_exec(&g, Model::Congest { words_per_edge: 1 }, ExecConfig::with_threads(4));
+        net.par_step(|v, _, out| {
+            if v == 37 {
+                out.send(0, vec![1, 2, 3]); // violation inside a worker thread
+            }
+        });
     }
 
     #[test]
@@ -360,6 +698,96 @@ mod tests {
         assert!(informed.iter().all(|&b| b));
         // capacity respected throughout
         assert!(net.stats().max_words_edge_round <= 2);
+    }
+
+    /// The same flood as a per-vertex-state program, on every thread
+    /// count: outputs and stats must match the sequential `step` run.
+    #[test]
+    fn parallel_flood_matches_sequential_bitwise() {
+        let g = gen::grid(6, 6);
+        let run = |threads: usize| {
+            let mut net = Network::with_exec(&g, Model::congest(), ExecConfig::with_threads(threads));
+            let mut informed: Vec<bool> = vec![false; g.n()];
+            informed[0] = true;
+            for _ in 0..11 {
+                net.step_state(&mut informed, |me, _v, inbox, out| {
+                    if inbox.iter().any(Option::is_some) {
+                        *me = true;
+                    }
+                    if *me {
+                        for p in 0..out.ports() {
+                            out.send(p, vec![1]);
+                        }
+                    }
+                });
+            }
+            (informed, net.stats())
+        };
+        let (seq_informed, seq_stats) = run(1);
+        assert!(seq_informed.iter().all(|&b| b));
+        for threads in [2, 4, 8] {
+            let (par_informed, par_stats) = run(threads);
+            assert_eq!(par_informed, seq_informed, "{threads} threads diverged");
+            stats::compare(&seq_stats, &par_stats).unwrap();
+        }
+    }
+
+    #[test]
+    fn exchange_state_matches_exchange_bitwise() {
+        let g = gen::grid(5, 7);
+        // sequential FnMut exchange
+        let mut seq_net = Network::new(&g, Model::congest());
+        let mut seq_seen: Vec<u64> = vec![0; g.n()];
+        seq_net.exchange(
+            |v, out| {
+                for p in 0..out.ports() {
+                    out.send(p, vec![v as u64 + 1]);
+                }
+            },
+            |v, inbox| {
+                seq_seen[v] = inbox.iter().flatten().map(|m| m[0]).sum();
+            },
+        );
+        for threads in [1, 2, 4, 8] {
+            let mut net = Network::with_exec(&g, Model::congest(), ExecConfig::with_threads(threads));
+            let mut seen: Vec<u64> = vec![0; g.n()];
+            net.exchange_state(
+                &mut seen,
+                |_me, v, out| {
+                    for p in 0..out.ports() {
+                        out.send(p, vec![v as u64 + 1]);
+                    }
+                },
+                |me, _v, inbox| {
+                    *me = inbox.iter().flatten().map(|m| m[0]).sum();
+                },
+            );
+            assert_eq!(seen, seq_seen, "{threads} threads diverged");
+            stats::compare(&seq_net.stats(), &net.stats()).unwrap();
+        }
+    }
+
+    #[test]
+    fn par_run_counts_rounds() {
+        let g = gen::cycle(9);
+        let mut net = Network::with_exec(&g, Model::congest(), ExecConfig::with_threads(3));
+        net.par_run(5, |_, _, out| out.send(0, vec![1]));
+        assert_eq!(net.stats().rounds, 5);
+        assert_eq!(net.stats().messages, 45);
+    }
+
+    #[test]
+    fn set_exec_changes_only_speed() {
+        let g = gen::grid(4, 4);
+        let mut net = Network::new(&g, Model::congest());
+        net.set_exec(ExecConfig::with_threads(2));
+        assert_eq!(net.exec().threads(), 2);
+        net.par_step(|_, _, out| {
+            for p in 0..out.ports() {
+                out.send(p, vec![1]);
+            }
+        });
+        assert_eq!(net.stats().messages, 2 * g.m() as u64);
     }
 
     #[test]

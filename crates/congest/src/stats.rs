@@ -1,13 +1,13 @@
 //! Round/message/congestion accounting.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Metrics accumulated by a [`crate::Network`] execution.
 ///
 /// `max_words_edge_round` is the largest message (in 64-bit words) that
 /// crossed any edge in any single round — the quantity the CONGEST model
 /// bounds by `O(log n)` and the LOCAL model does not.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RoundStats {
     /// Synchronous rounds executed.
     pub rounds: u64,
@@ -19,6 +19,30 @@ pub struct RoundStats {
     pub max_words_edge_round: usize,
 }
 
+// Hand-written serde impls (vendored serde has no derive).
+impl Serialize for RoundStats {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("rounds".to_string(), self.rounds.to_value()),
+            ("messages".to_string(), self.messages.to_value()),
+            ("words".to_string(), self.words.to_value()),
+            ("max_words_edge_round".to_string(), self.max_words_edge_round.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RoundStats {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let field = |k: &str| v.get(k).ok_or_else(|| serde::Error::msg(format!("missing field `{k}`")));
+        Ok(RoundStats {
+            rounds: u64::from_value(field("rounds")?)?,
+            messages: u64::from_value(field("messages")?)?,
+            words: u64::from_value(field("words")?)?,
+            max_words_edge_round: usize::from_value(field("max_words_edge_round")?)?,
+        })
+    }
+}
+
 impl RoundStats {
     /// Accumulates another phase's stats (rounds add; maxima take max).
     pub fn merge(&mut self, other: &RoundStats) {
@@ -26,6 +50,48 @@ impl RoundStats {
         self.messages += other.messages;
         self.words += other.words;
         self.max_words_edge_round = self.max_words_edge_round.max(other.max_words_edge_round);
+    }
+}
+
+/// Compares two executions' statistics field by field, returning a
+/// human-readable diff on mismatch.
+///
+/// This is the assertion primitive behind the determinism test layer: the
+/// parallel engine must reproduce the sequential engine's stats *exactly*,
+/// and when it doesn't, "which counter diverged" is the first question.
+///
+/// # Examples
+///
+/// ```
+/// use lcg_congest::stats::{compare, RoundStats};
+///
+/// let a = RoundStats { rounds: 3, messages: 10, words: 20, max_words_edge_round: 2 };
+/// assert!(compare(&a, &a).is_ok());
+/// let b = RoundStats { messages: 11, ..a };
+/// let err = compare(&a, &b).unwrap_err();
+/// assert!(err.contains("messages"));
+/// ```
+pub fn compare(a: &RoundStats, b: &RoundStats) -> Result<(), String> {
+    let mut diffs = Vec::new();
+    if a.rounds != b.rounds {
+        diffs.push(format!("rounds: {} != {}", a.rounds, b.rounds));
+    }
+    if a.messages != b.messages {
+        diffs.push(format!("messages: {} != {}", a.messages, b.messages));
+    }
+    if a.words != b.words {
+        diffs.push(format!("words: {} != {}", a.words, b.words));
+    }
+    if a.max_words_edge_round != b.max_words_edge_round {
+        diffs.push(format!(
+            "max_words_edge_round: {} != {}",
+            a.max_words_edge_round, b.max_words_edge_round
+        ));
+    }
+    if diffs.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("RoundStats diverged: {}", diffs.join("; ")))
     }
 }
 

@@ -58,6 +58,7 @@ pub fn approx_correlation_clustering(
         deterministic_routing: false,
         practical_phi: true,
         message_faithful: false,
+        exec: lcg_congest::ExecConfig::from_env(),
     };
     let _ = density_bound; // class constant only affects round bounds
     let framework = run_framework(g, &cfg);

@@ -48,6 +48,7 @@ pub fn low_diameter_decomposition(
         deterministic_routing: false,
         practical_phi: true,
         message_faithful: false,
+        exec: lcg_congest::ExecConfig::from_env(),
     };
     let _ = density_bound;
     let framework: FrameworkOutcome = run_framework(g, &cfg);

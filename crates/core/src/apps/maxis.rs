@@ -53,6 +53,7 @@ pub fn approx_maximum_independent_set(
         deterministic_routing: false,
         practical_phi: true,
         message_faithful: false,
+        exec: lcg_congest::ExecConfig::from_env(),
     };
     let framework = run_framework(g, &cfg);
 

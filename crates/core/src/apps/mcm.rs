@@ -9,7 +9,7 @@
 
 use lcg_congest::{Model, Network, RoundStats};
 use lcg_graph::Graph;
-use lcg_solvers::{matching, star_elim};
+use lcg_solvers::matching;
 
 use crate::framework::{run_framework, FrameworkConfig, FrameworkOutcome};
 
@@ -20,7 +20,7 @@ use crate::framework::{run_framework, FrameworkConfig, FrameworkOutcome};
 /// out; passes repeat until a fixpoint.
 ///
 /// Returns `(kept, stats)`. The kept set can differ from the sequential
-/// [`star_elim::star_elimination`] in *which* twin survives, but both are
+/// [`lcg_solvers::star_elim::star_elimination`] in *which* twin survives, but both are
 /// star-free kernels with the same maximum-matching size.
 pub fn distributed_star_elimination(g: &Graph) -> (Vec<bool>, RoundStats) {
     let n = g.n();
@@ -198,6 +198,7 @@ pub fn approx_maximum_matching(g: &Graph, epsilon: f64, seed: u64) -> McmOutcome
         deterministic_routing: false,
         practical_phi: true,
         message_faithful: false,
+        exec: lcg_congest::ExecConfig::from_env(),
     };
     let framework = run_framework(&kernel, &cfg);
     stats.merge(&framework.stats);
@@ -242,6 +243,7 @@ mod tests {
     use super::*;
     use lcg_graph::gen;
     use lcg_solvers::matching::maximum_matching;
+    use lcg_solvers::star_elim;
 
     #[test]
     fn output_is_valid_matching() {

@@ -58,6 +58,7 @@ pub fn approx_minimum_dominating_set(
         deterministic_routing: false,
         practical_phi: true,
         message_faithful: false,
+        exec: lcg_congest::ExecConfig::from_env(),
     };
     let framework = run_framework(g, &cfg);
     let mut in_set = vec![false; g.n()];
@@ -119,7 +120,6 @@ mod tests {
 
     #[test]
     fn no_worse_than_greedy_baseline_much() {
-        let mut rng = gen::seeded_rng(322);
         let g = gen::grid(7, 7);
         let out = approx_minimum_dominating_set(&g, 0.4, 3, 30_000_000);
         let greedy = greedy_mds(&g);

@@ -60,6 +60,7 @@ pub fn approx_maximum_weight_independent_set(
         deterministic_routing: false,
         practical_phi: true,
         message_faithful: false,
+        exec: lcg_congest::ExecConfig::from_env(),
     };
     let framework = run_framework(g, &cfg);
     let mut in_set = vec![false; g.n()];

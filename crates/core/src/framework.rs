@@ -23,7 +23,7 @@
 //!    of rounds as gathering.
 
 use lcg_congest::primitives::{self, Scope};
-use lcg_congest::{Model, Network, RoundStats};
+use lcg_congest::{ExecConfig, Model, Network, RoundStats};
 use lcg_expander::decomp::{self, ExpanderDecomposition};
 use lcg_expander::routing;
 use lcg_graph::Graph;
@@ -56,6 +56,10 @@ pub struct FrameworkConfig {
     /// fully message-faithful; Experiment E17 shows the two agree within
     /// a factor ≈ 2.
     pub message_faithful: bool,
+    /// Worker threads for the simulator and the walk phases. Never changes
+    /// results — the engine is bit-deterministic for every thread count —
+    /// only wall-clock. Defaults to [`ExecConfig::from_env`] (`LCG_THREADS`).
+    pub exec: ExecConfig,
 }
 
 impl FrameworkConfig {
@@ -69,6 +73,7 @@ impl FrameworkConfig {
             deterministic_routing: false,
             practical_phi: true,
             message_faithful: false,
+            exec: ExecConfig::from_env(),
         }
     }
 
@@ -158,7 +163,7 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
         decomp::decompose(g, eps_prime)
     };
 
-    let mut net = Network::new(g, Model::congest());
+    let mut net = Network::with_exec(g, Model::congest(), cfg.exec);
     let cluster_of = decomposition.cluster_of.clone();
 
     // Phase 2: leader election. b = max cluster diameter (each G[V_i] has
@@ -234,7 +239,7 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
         } else if cfg.message_faithful {
             // run this cluster's routing on its own network (clusters run
             // in parallel; rounds take the max, traffic sums)
-            let mut cluster_net = Network::new(g, Model::congest());
+            let mut cluster_net = Network::with_exec(g, Model::congest(), cfg.exec);
             let (outcome, rstats) = routing::network_walk_routing_with_counts(
                 &mut cluster_net,
                 &mapping,
@@ -249,13 +254,14 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
                 faithful_traffic.max_words_edge_round.max(rstats.max_words_edge_round);
             outcome
         } else {
-            routing::random_walk_routing_with_counts(
+            routing::random_walk_routing_with_counts_exec(
                 g,
                 &mapping,
                 leader,
                 &counts,
                 cfg.max_walk_steps,
                 &mut rng,
+                cfg.exec,
             )
         };
         gather_rounds = gather_rounds.max(routing_outcome.rounds);
@@ -364,9 +370,7 @@ mod tests {
 
     #[test]
     fn phase_breakdown_sums() {
-        let mut rng = gen::seeded_rng(214);
         let g = gen::grid(10, 10);
-        let _ = rng;
         let out = run_framework(&g, &FrameworkConfig::planar(0.3, 2));
         let p = out.phases;
         assert_eq!(

@@ -227,11 +227,11 @@ pub fn decompose_with_phi(g: &Graph, epsilon: f64, phi_cut: f64) -> ExpanderDeco
             .expect("connected graph with >= 1 edge has a sweep cut");
         if cut.conductance < phi_cut {
             let (mut a, mut b) = (Vec::new(), Vec::new());
-            for v in 0..sub.n() {
+            for (v, &host) in map.iter().enumerate().take(sub.n()) {
                 if cut.in_s[v] {
-                    a.push(map[v]);
+                    a.push(host);
                 } else {
-                    b.push(map[v]);
+                    b.push(host);
                 }
             }
             queue.push(a);

@@ -13,9 +13,10 @@
 //!   convergecast along a BFS tree rooted at the leader, taking
 //!   `depth + max-edge-congestion` rounds. Both quantities are reported.
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-use lcg_congest::{Network, RoundStats};
+use lcg_congest::{ExecConfig, Network, RoundStats};
 use lcg_graph::Graph;
 
 /// Outcome of a routing execution, in CONGEST-round currency.
@@ -62,6 +63,19 @@ pub fn random_walk_routing(
     random_walk_routing_with_counts(g, members, leader, &counts, max_steps, rng)
 }
 
+/// [`random_walk_routing`] with an explicit [`ExecConfig`].
+pub fn random_walk_routing_exec(
+    g: &Graph,
+    members: &[usize],
+    leader: usize,
+    max_steps: usize,
+    rng: &mut impl Rng,
+    exec: ExecConfig,
+) -> RoutingOutcome {
+    let counts = vec![1usize; members.len()];
+    random_walk_routing_with_counts_exec(g, members, leader, &counts, max_steps, rng, exec)
+}
+
 /// Lemma 2.4 with an explicit message count per member (the paper's
 /// `L · deg(v)` formulation): member `i` launches `counts[i]` tokens. The
 /// framework uses this to ship each vertex's `1 + outdeg(v)` topology
@@ -78,6 +92,56 @@ pub fn random_walk_routing_with_counts(
     counts: &[usize],
     max_steps: usize,
     rng: &mut impl Rng,
+) -> RoutingOutcome {
+    random_walk_routing_with_counts_exec(g, members, leader, counts, max_steps, rng, ExecConfig::from_env())
+}
+
+/// Per-token walk state. Each token owns a ChaCha8 stream seeded from the
+/// master seed and the token index, so its trajectory is a pure function
+/// of `(master, t)` — independent of evaluation order and thread count.
+struct Token {
+    pos: usize,
+    alive: bool,
+    rng: ChaCha8Rng,
+}
+
+/// One step of one token: `None` = stay (lazy), `Some((edge, dest))` = the
+/// chosen crossing. Pure per-token computation — this is the part the
+/// engine fans out across worker threads.
+#[inline]
+fn token_step(sub: &Graph, tok: &mut Token) -> Option<(usize, usize)> {
+    if !tok.alive || tok.rng.gen_bool(0.5) {
+        return None;
+    }
+    let d = sub.degree(tok.pos);
+    if d == 0 {
+        return None;
+    }
+    let k = tok.rng.gen_range(0..d);
+    let (w, e) = sub.neighbors(tok.pos).nth(k).unwrap();
+    Some((e, w))
+}
+
+/// [`random_walk_routing_with_counts`] with an explicit [`ExecConfig`]:
+/// the per-step token moves are computed on the configured thread pool.
+///
+/// Tokens carry private RNG streams (seeded from one draw of `rng`), moves
+/// are computed chunk-parallel and then merged into the edge-load table by
+/// a sequential token-order sweep — so the outcome is **bit-identical for
+/// every thread count** (and `rng` advances by exactly one draw either
+/// way).
+///
+/// # Panics
+///
+/// As [`random_walk_routing_with_counts`].
+pub fn random_walk_routing_with_counts_exec(
+    g: &Graph,
+    members: &[usize],
+    leader: usize,
+    counts: &[usize],
+    max_steps: usize,
+    rng: &mut impl Rng,
+    exec: ExecConfig,
 ) -> RoutingOutcome {
     assert_eq!(counts.len(), members.len(), "one count per member required");
     let (sub, map) = g.induced_subgraph(members);
@@ -97,50 +161,72 @@ pub fn random_walk_routing_with_counts(
             .map(|i| counts[i])
             .unwrap_or(0)
     };
-    // token positions; tokens at the leader are absorbed immediately
-    let mut pos: Vec<usize> = Vec::new();
+    let master: u64 = rng.gen();
+    // token states; tokens at the leader are absorbed immediately
+    let mut tokens: Vec<Token> = Vec::new();
     for v in 0..n {
         for _ in 0..count_of(v) {
-            pos.push(v);
+            let t = tokens.len() as u64;
+            tokens.push(Token {
+                pos: v,
+                alive: v != leader_local,
+                rng: ChaCha8Rng::seed_from_u64(master ^ t.wrapping_mul(0x9E3779B97F4A7C15)),
+            });
         }
     }
-    let mut alive: Vec<bool> = pos.iter().map(|&v| v != leader_local).collect();
-    let total = pos.len();
-    let mut delivered = total - alive.iter().filter(|&&a| a).count();
+    let total = tokens.len();
+    let mut delivered = tokens.iter().filter(|t| !t.alive).count();
     let mut rounds = 0u64;
     let mut steps = 0usize;
     let mut max_edge_load = 0usize;
     let mut edge_load = vec![0usize; sub.m()];
-    for _ in 0..max_steps {
-        if delivered == total {
-            break;
-        }
+    let mut moves: Vec<Option<(usize, usize)>> = vec![None; total];
+    while steps < max_steps && delivered < total {
         steps += 1;
         for e in edge_load.iter_mut() {
             *e = 0;
         }
+        // fan out: each chunk of tokens rolls its own moves
+        let chunks = exec.chunks(total);
+        if chunks.len() <= 1 {
+            for (tok, mv) in tokens.iter_mut().zip(moves.iter_mut()) {
+                *mv = token_step(&sub, tok);
+            }
+        } else {
+            let sub_ref = &sub;
+            std::thread::scope(|scope| {
+                let mut tok_rest = &mut tokens[..];
+                let mut mv_rest = &mut moves[..];
+                let mut handles = Vec::with_capacity(chunks.len());
+                for range in &chunks {
+                    let (tok_chunk, tail) = tok_rest.split_at_mut(range.len());
+                    tok_rest = tail;
+                    let (mv_chunk, tail) = mv_rest.split_at_mut(range.len());
+                    mv_rest = tail;
+                    handles.push(scope.spawn(move || {
+                        for (tok, mv) in tok_chunk.iter_mut().zip(mv_chunk.iter_mut()) {
+                            *mv = token_step(sub_ref, tok);
+                        }
+                    }));
+                }
+                for h in handles {
+                    if let Err(payload) = h.join() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            });
+        }
+        // merge: token-order sweep applies crossings to the shared tables
         let mut step_max = 0usize;
-        for t in 0..total {
-            if !alive[t] {
-                continue;
-            }
-            let u = pos[t];
-            // lazy: stay with probability 1/2
-            if rng.gen_bool(0.5) {
-                continue;
-            }
-            let d = sub.degree(u);
-            if d == 0 {
-                continue;
-            }
-            let k = rng.gen_range(0..d);
-            let (w, e) = sub.neighbors(u).nth(k).unwrap();
-            edge_load[e] += 1;
-            step_max = step_max.max(edge_load[e]);
-            pos[t] = w;
-            if w == leader_local {
-                alive[t] = false;
-                delivered += 1;
+        for (tok, mv) in tokens.iter_mut().zip(moves.iter()) {
+            if let Some((e, w)) = *mv {
+                edge_load[e] += 1;
+                step_max = step_max.max(edge_load[e]);
+                tok.pos = w;
+                if w == leader_local {
+                    tok.alive = false;
+                    delivered += 1;
+                }
             }
         }
         // Each token crossing an edge is one O(log n)-bit message; an edge
@@ -335,11 +421,11 @@ pub fn network_walk_routing_with_counts(
                     }
                 },
             );
-            for v in 0..n {
-                for m in pending[v].values_mut() {
+            for pend in pending.iter_mut().take(n) {
+                for m in pend.values_mut() {
                     m.pop();
                 }
-                pending[v].retain(|_, q| !q.is_empty());
+                pend.retain(|_, q| !q.is_empty());
             }
             for (v, arr) in arrivals.into_iter().enumerate() {
                 for t in arr {
@@ -424,6 +510,52 @@ mod tests {
         let out = super::random_walk_routing_with_counts(&g, &members, 2, &counts, 50_000, &mut rng);
         assert_eq!(out.total, counts.iter().sum::<usize>());
         assert!(out.complete());
+    }
+
+    #[test]
+    fn walk_routing_thread_count_invariant() {
+        let g = gen::complete(18);
+        let members: Vec<usize> = (0..18).collect();
+        let counts: Vec<usize> = (0..18).map(|v| 1 + v % 2).collect();
+        let run = |threads: usize| {
+            let mut rng = gen::seeded_rng(139);
+            random_walk_routing_with_counts_exec(
+                &g,
+                &members,
+                4,
+                &counts,
+                50_000,
+                &mut rng,
+                lcg_congest::ExecConfig::with_threads(threads),
+            )
+        };
+        let seq = run(1);
+        assert!(seq.complete());
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), seq, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn walk_routing_exec_advances_caller_rng_identically() {
+        // the exec variant consumes exactly one draw from the caller's rng
+        // regardless of thread count, so downstream phases stay aligned
+        use rand::Rng;
+        let g = gen::complete(12);
+        let members: Vec<usize> = (0..12).collect();
+        let after = |threads: usize| {
+            let mut rng = gen::seeded_rng(140);
+            let _ = random_walk_routing_exec(
+                &g,
+                &members,
+                0,
+                10_000,
+                &mut rng,
+                lcg_congest::ExecConfig::with_threads(threads),
+            );
+            rng.gen::<u64>()
+        };
+        assert_eq!(after(1), after(8));
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub fn random_planar(n: usize, keep: f64, rng: &mut impl Rng) -> Graph {
     use rand::seq::SliceRandom;
     ids.shuffle(rng);
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

@@ -95,7 +95,7 @@ pub fn subsample_connected(g: &Graph, keep: f64, rng: &mut impl Rng) -> Graph {
     let mut ids: Vec<usize> = (0..g.m()).collect();
     ids.shuffle(rng);
     let mut parent: Vec<usize> = (0..g.n()).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

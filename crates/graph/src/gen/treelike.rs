@@ -96,7 +96,7 @@ pub fn partial_ktree(n: usize, k: usize, keep: f64, rng: &mut impl Rng) -> Graph
     let mut ids: Vec<usize> = (0..g.m()).collect();
     ids.shuffle(rng);
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

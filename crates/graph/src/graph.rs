@@ -10,10 +10,10 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Sign of an edge in a correlation-clustering instance (paper §3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sign {
     /// The endpoints are positively correlated (`E⁺`).
     Positive,
@@ -44,7 +44,7 @@ impl Sign {
 /// assert_eq!(g.m(), 3);
 /// assert_eq!(g.degree(1), 2);
 /// ```
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Graph {
     n: usize,
     /// Edge endpoints with `u < v`, indexed by edge id.
@@ -55,6 +55,57 @@ pub struct Graph {
     weights: Option<Vec<u64>>,
     /// Optional correlation-clustering labels.
     labels: Option<Vec<Sign>>,
+}
+
+// Hand-written serde impls (the vendored serde stand-in has no derive);
+// the JSON shape matches what `#[derive(Serialize, Deserialize)]` with
+// externally-tagged enums would produce.
+
+impl Serialize for Sign {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                Sign::Positive => "Positive",
+                Sign::Negative => "Negative",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for Sign {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Str(s) if s == "Positive" => Ok(Sign::Positive),
+            Value::Str(s) if s == "Negative" => Ok(Sign::Negative),
+            _ => Err(serde::Error::msg("expected \"Positive\" or \"Negative\"")),
+        }
+    }
+}
+
+impl Serialize for Graph {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("n".to_string(), self.n.to_value()),
+            ("edges".to_string(), self.edges.to_value()),
+            ("adj".to_string(), self.adj.to_value()),
+            ("weights".to_string(), self.weights.to_value()),
+            ("labels".to_string(), self.labels.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Graph {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let field = |k: &str| v.get(k).ok_or_else(|| serde::Error::msg(format!("missing field `{k}`")));
+        Ok(Graph {
+            n: usize::from_value(field("n")?)?,
+            edges: Vec::from_value(field("edges")?)?,
+            adj: Vec::from_value(field("adj")?)?,
+            weights: Option::from_value(field("weights")?)?,
+            labels: Option::from_value(field("labels")?)?,
+        })
+    }
 }
 
 impl fmt::Debug for Graph {

@@ -111,8 +111,8 @@ pub fn ball_growing_ldd(g: &Graph, eps: f64, rng: &mut impl Rng) -> Ldd {
     let mut key = vec![usize::MAX; n];
     let mut owner = vec![usize::MAX; n];
     let mut heap = std::collections::BinaryHeap::new();
-    for v in 0..n {
-        heap.push(std::cmp::Reverse((start[v], v, v)));
+    for (v, &s) in start.iter().enumerate().take(n) {
+        heap.push(std::cmp::Reverse((s, v, v)));
     }
     while let Some(std::cmp::Reverse((k, c, v))) = heap.pop() {
         if owner[v] != usize::MAX {
@@ -147,8 +147,8 @@ pub fn layered_ldd(g: &Graph, width: usize, iterations: usize, rng: &mut impl Rn
     for _ in 0..iterations {
         let mut new_piece = vec![usize::MAX; n];
         let mut members: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
-        for v in 0..n {
-            members.entry(piece[v]).or_default().push(v);
+        for (v, &p) in piece.iter().enumerate().take(n) {
+            members.entry(p).or_default().push(v);
         }
         for (_, vs) in members {
             let (sub, map) = g.induced_subgraph(&vs);
@@ -161,8 +161,8 @@ pub fn layered_ldd(g: &Graph, width: usize, iterations: usize, rng: &mut impl Rn
                     source_of[comp[v]] = v;
                 }
             }
-            for c in 0..k {
-                let dist = sub.bfs_distances(source_of[c]);
+            for (c, &src) in source_of.iter().enumerate().take(k) {
+                let dist = sub.bfs_distances(src);
                 for v in 0..sub.n() {
                     if comp[v] != c {
                         continue;

@@ -76,9 +76,9 @@ pub fn maximum_matching(g: &Graph) -> Matching {
         blossom: vec![false; n],
     };
     // greedy initialization speeds things up considerably
-    for v in 0..n {
+    for (v, nbrs) in adj.iter().enumerate().take(n) {
         if st.mate[v] == NONE {
-            for &u in &adj[v] {
+            for &u in nbrs {
                 if st.mate[u] == NONE {
                     st.mate[v] = u;
                     st.mate[u] = v;

@@ -1,0 +1,238 @@
+//! Offline stand-in for `criterion`. Implements the group/bench API this
+//! workspace's benches use, with straightforward wall-clock timing (no
+//! statistical analysis or HTML reports): each benchmark runs a warmup
+//! pass and `sample_size` timed samples, and the median/min/max are
+//! printed in criterion-like one-line form.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark id: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Builds an id from a bare name.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Per-iteration timing harness passed to bench closures.
+pub struct Bencher {
+    /// Measured duration of the last `iter` call batch.
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Ignored (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.name);
+        let samples = self.sample_size;
+        self.criterion.run_one(&full, samples, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchName, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_name());
+        let samples = self.sample_size;
+        self.criterion.run_one(&full, samples, |b| f(b));
+        self
+    }
+
+    /// Finishes the group (printing is incremental; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchName {
+    /// The rendered name.
+    fn into_bench_name(self) -> String;
+}
+
+impl IntoBenchName for &str {
+    fn into_bench_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchName for String {
+    fn into_bench_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchName for BenchmarkId {
+    fn into_bench_name(self) -> String {
+        self.name
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <filter>` passes the filter as a free argument
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Benchmarks a closure with no input at the top level.
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchName, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into_bench_name();
+        self.run_one(&name, 10, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 1 };
+        // warmup + iteration-count calibration to ~10ms per sample
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        b.iters = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            f(&mut b);
+            times.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+        times.sort_by(|a, x| a.partial_cmp(x).unwrap());
+        let median = times[times.len() / 2];
+        println!(
+            "{name:<60} time: [{} {} {}]",
+            fmt_time(times[0]),
+            fmt_time(median),
+            fmt_time(*times.last().unwrap())
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_times() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 1), &5u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut ran = false;
+        c.bench_function("something", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran);
+    }
+}

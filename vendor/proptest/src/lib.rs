@@ -1,0 +1,448 @@
+//! Offline stand-in for `proptest`, exposing the subset of the API this
+//! workspace uses: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, range/tuple/`any`/`vec` strategies, the
+//! [`proptest!`] macro, and `prop_assert*` macros.
+//!
+//! Cases are sampled from a ChaCha stream seeded by the hash of the test
+//! name, so runs are deterministic per test (no shrinking; on failure the
+//! panic message reports the case number so the failing input can be
+//! re-derived).
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// RNG driving test-case generation.
+pub type TestRng = ChaCha8Rng;
+
+/// Failure raised by `prop_assert!` and friends.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Chains a dependent strategy.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Retries generation until `pred` holds (up to 1000 attempts).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, pred, reason }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter retry budget exhausted: {}", self.reason);
+    }
+}
+
+/// Strategy producing a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($t,)+) = self;
+                ($($t.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Strategy for [`Arbitrary`] types (see [`any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Inclusive length bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Minimum length.
+        pub min: usize,
+        /// Maximum length (inclusive).
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, len_range)`: vectors whose elements come from
+    /// `element` and whose length lies in `len_range`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs `cases` random cases of `body`, panicking on the first failure.
+/// The per-test RNG stream is derived from the test name, so failures are
+/// reproducible by rerunning the same binary.
+pub fn run_cases<F>(cfg: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the test name
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    for case in 0..cfg.cases {
+        let mut rng = TestRng::seed_from_u64(seed ^ ((case as u64) << 32));
+        if let Err(e) = body(&mut rng) {
+            panic!("proptest '{name}' failed at case {case}/{}: {e}", cfg.cases);
+        }
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr;) => {};
+    (@impl $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&config, stringify!($name), |prop_rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), prop_rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {}", x)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional context message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a), stringify!($b), va, vb
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}): {}",
+                stringify!($a), stringify!($b), va, vb, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional context message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(, $($fmt:tt)+)?) => {{
+        let (va, vb) = (&$a, &$b);
+        if va == vb {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a), stringify!($b), va
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! The names `use proptest::prelude::*` is expected to bring in.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in 0.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_dependent(v in (1usize..6).prop_flat_map(|n| crate::collection::vec(0..n, n..=n))) {
+            let n = v.len();
+            prop_assert!((1..6).contains(&n));
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+
+        #[test]
+        fn map_transforms(x in (0u64..100).prop_map(|x| x * 2)) {
+            prop_assert!(x % 2 == 0);
+            prop_assert!(x < 200, "x = {}", x);
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0usize..5, 0usize..5), _s in any::<u64>()) {
+            prop_assert!(pair.0 < 5 && pair.1 < 5);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_case_number() {
+        let r = std::panic::catch_unwind(|| {
+            crate::run_cases(&ProptestConfig::with_cases(5), "doomed", |_rng| {
+                Err(TestCaseError::fail("always"))
+            });
+        });
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("doomed") && msg.contains("case 0"), "{msg}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first = Vec::new();
+        crate::run_cases(&ProptestConfig::with_cases(10), "det", |rng| {
+            first.push(crate::Strategy::generate(&(0u64..1000), rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::run_cases(&ProptestConfig::with_cases(10), "det", |rng| {
+            second.push(crate::Strategy::generate(&(0u64..1000), rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}
