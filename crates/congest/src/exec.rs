@@ -79,6 +79,7 @@ impl ExecConfig {
                 } else {
                     match s.parse::<usize>() {
                         Ok(k) if k >= 1 => ExecConfig::with_threads(k),
+                        // lcg-lint: allow(P001) -- documented fail-fast: a malformed LCG_THREADS must abort at startup, not be silently coerced
                         _ => panic!("LCG_THREADS must be a positive integer, 0, or 'auto'; got {s:?}"),
                     }
                 }

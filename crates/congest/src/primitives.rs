@@ -83,7 +83,13 @@ pub fn bfs_forest(net: &mut Network, sources: &[usize], scope: Scope) -> BfsFore
                 if announce[v] {
                     for (p, &u) in nbrs[v].iter().enumerate() {
                         if scope.allows(v, u) {
-                            out.send(p, vec![root_snap[v].unwrap() as u64, dist_snap[v] as u64]);
+                            out.send(
+                                p,
+                                vec![
+                                    root_snap[v].expect("announcing vertex has adopted a root") as u64,
+                                    dist_snap[v] as u64,
+                                ],
+                            );
                         }
                     }
                 }
@@ -154,7 +160,11 @@ pub fn convergecast_sum(net: &mut Network, forest: &BfsForest, values: &[u64]) -
     let parent_port: Vec<Option<usize>> = (0..n)
         .map(|v| {
             forest.parent[v]
-                .map(|p| g.neighbors(v).position(|(w, _)| w == p).unwrap())
+                .map(|p| {
+                    g.neighbors(v)
+                        .position(|(w, _)| w == p)
+                        .expect("forest parent is a graph neighbor")
+                })
         })
         .collect();
     for d in (1..=forest.depth()).rev() {
@@ -194,7 +204,11 @@ pub fn broadcast_down(net: &mut Network, forest: &BfsForest, payload: &[u64]) ->
         .map(|v| {
             children[v]
                 .iter()
-                .map(|&c| g.neighbors(v).position(|(w, _)| w == c).unwrap())
+                .map(|&c| {
+                    g.neighbors(v)
+                        .position(|(w, _)| w == c)
+                        .expect("forest child is a graph neighbor")
+                })
                 .collect()
         })
         .collect();

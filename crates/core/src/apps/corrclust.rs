@@ -69,8 +69,9 @@ pub fn approx_correlation_clustering(
     for c in &framework.clusters {
         let r = corrclust::best_clustering(&c.subgraph, exact_limit, &mut rng);
         all_optimal &= r.optimal;
-        // relabel to a fresh global range
-        let mut remap: std::collections::HashMap<usize, usize> = Default::default();
+        // relabel to a fresh global range (BTreeMap: label assignment order
+        // is part of the output, so no hash-order iteration here — D001)
+        let mut remap: std::collections::BTreeMap<usize, usize> = Default::default();
         for (local, &lab) in r.clustering.iter().enumerate() {
             let global = *remap.entry(lab).or_insert_with(|| {
                 let g = next_label;

@@ -37,7 +37,10 @@ pub fn distributed_star_elimination(g: &Graph) -> (Vec<bool>, RoundStats) {
         net.exchange(
             |v, out| {
                 if pendant[v] {
-                    let p = nbrs[v].iter().position(|&u| kept[u]).unwrap();
+                    let p = nbrs[v]
+                        .iter()
+                        .position(|&u| kept[u])
+                        .expect("pendant vertex has exactly one kept neighbor");
                     out.send(p, vec![1]);
                 }
             },
@@ -85,7 +88,10 @@ pub fn distributed_star_elimination(g: &Graph) -> (Vec<bool>, RoundStats) {
         net.exchange(
             |v, out| {
                 if let Some((a, b)) = two[v] {
-                    let p = nbrs[v].iter().position(|&u| u == a).unwrap();
+                    let p = nbrs[v]
+                        .iter()
+                        .position(|&u| u == a)
+                        .expect("two[v] endpoints are neighbors of v");
                     out.send(p, vec![b as u64, 3]);
                 }
             },

@@ -88,7 +88,10 @@ pub fn count_triangles(g: &Graph, density_bound: f64) -> TriangleOutcome {
         for i in 0..out_nbrs[v].len() {
             for j in (i + 1)..out_nbrs[v].len() {
                 let (a, b) = (out_nbrs[v][i], out_nbrs[v][j]);
-                let port = nbrs[v].iter().position(|&w| w == a).unwrap();
+                let port = nbrs[v]
+                    .iter()
+                    .position(|&w| w == a)
+                    .expect("out-neighbor is a graph neighbor");
                 queries[v].push((port, b));
             }
         }

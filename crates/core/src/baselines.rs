@@ -114,7 +114,10 @@ pub fn randomized_greedy_matching(g: &Graph, seed: u64) -> (Vec<Option<usize>>, 
         net.exchange(
             |v, out| {
                 if let Some(u) = proposal[v] {
-                    let p = nbrs[v].iter().position(|&w| w == u).unwrap();
+                    let p = nbrs[v]
+                        .iter()
+                        .position(|&w| w == u)
+                        .expect("proposal target is a neighbor");
                     out.send(p, vec![1]);
                 }
             },
@@ -124,7 +127,10 @@ pub fn randomized_greedy_matching(g: &Graph, seed: u64) -> (Vec<Option<usize>>, 
                 }
                 if let Some(u) = proposal[v] {
                     // mutual?
-                    let p = nbrs[v].iter().position(|&w| w == u).unwrap();
+                    let p = nbrs[v]
+                        .iter()
+                        .position(|&w| w == u)
+                        .expect("proposal target is a neighbor");
                     if inbox[p].is_some() {
                         mate[v] = Some(u);
                     }

@@ -222,7 +222,7 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
             .iter()
             .copied()
             .max_by_key(|&v| (degrees[v], v))
-            .unwrap();
+            .expect("decomposition clusters are non-empty");
         // sanity: the flood elected the same leader everywhere in cluster
         debug_assert!(mapping.iter().all(|&v| elected[v].1 == leader));
         let counts: Vec<usize> = mapping.iter().map(|&v| 1 + out_deg[v]).collect();

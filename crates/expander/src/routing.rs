@@ -118,7 +118,10 @@ fn token_step(sub: &Graph, tok: &mut Token) -> Option<(usize, usize)> {
         return None;
     }
     let k = tok.rng.gen_range(0..d);
-    let (w, e) = sub.neighbors(tok.pos).nth(k).unwrap();
+    let (w, e) = sub
+        .neighbors(tok.pos)
+        .nth(k)
+        .expect("k < degree(pos) by construction");
     Some((e, w))
 }
 
@@ -387,8 +390,11 @@ pub fn network_walk_routing_with_counts(
         steps += 1;
         // each alive token decides: stay (prob 1/2) or pick a random
         // intra-cluster port
-        // pending[v][q] = queue of tokens at v waiting to cross port q
-        let mut pending: Vec<std::collections::HashMap<usize, Vec<u64>>> =
+        // pending[v][q] = queue of tokens at v waiting to cross port q.
+        // BTreeMap, not HashMap: per-round sends and queue drains iterate
+        // these maps, and hash order would make message traces depend on
+        // the hasher seed (D001).
+        let mut pending: Vec<std::collections::BTreeMap<usize, Vec<u64>>> =
             (0..n).map(|_| Default::default()).collect();
         for v in 0..n {
             let tokens = std::mem::take(&mut at[v]);

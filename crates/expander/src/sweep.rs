@@ -30,7 +30,11 @@ pub fn sweep_cut(g: &Graph, values: &[f64]) -> Option<SweepCut> {
         return None;
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("spectral embedding values are finite (never NaN)")
+    });
     let total_vol = 2 * g.m();
     let mut in_s = vec![false; n];
     let mut cut = 0usize;

@@ -449,7 +449,7 @@ impl Graph {
                     cursor += 1;
                 }
                 assert!(cursor <= maxd, "bucket scan exhausted with vertices remaining");
-                buckets[cursor].pop().unwrap()
+                buckets[cursor].pop().expect("bucket scan stops at a non-empty bucket")
             };
             removed[v] = true;
             degeneracy = degeneracy.max(deg[v]);

@@ -73,7 +73,10 @@ pub fn h_partition(g: &Graph, d: f64, epsilon: f64) -> Orientation {
             // The density bound was violated (g is not in the promised
             // class). Fall back to peeling minimum-degree vertices so the
             // function still terminates; out-degree may exceed the bound.
-            let v = *active.iter().min_by_key(|&&v| deg[v]).unwrap();
+            let v = *active
+                .iter()
+                .min_by_key(|&&v| deg[v])
+                .expect("active set is non-empty while peeling");
             layer[v] = l;
             for u in g.neighbor_vertices(v) {
                 deg[u] = deg[u].saturating_sub(1);

@@ -319,7 +319,7 @@ impl<'a> LrPlanarity<'a> {
             if !(self.conflicting(top.left, ei) || self.conflicting(top.right, ei)) {
                 break;
             }
-            let mut q = self.s.pop().unwrap();
+            let mut q = self.s.pop().expect("stack non-empty: loop just peeked it");
             if self.conflicting(q.right, ei) {
                 q.swap();
             }
@@ -353,7 +353,7 @@ impl<'a> LrPlanarity<'a> {
             if self.lowest(top) != self.height[u] {
                 break;
             }
-            let p = self.s.pop().unwrap();
+            let p = self.s.pop().expect("stack non-empty: loop just peeked it");
             if p.left.low != NONE {
                 self.side[p.left.low] = -1;
             }

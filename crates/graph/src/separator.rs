@@ -50,9 +50,9 @@ pub fn edge_separator(g: &Graph, extra_seeds: usize, refine_passes: usize, rng: 
     let mut seeds = Vec::new();
     // peripheral pair from a double sweep
     let d0 = g.bfs_distances(0);
-    let far1 = (0..n).max_by_key(|&v| d0[v]).unwrap();
+    let far1 = (0..n).max_by_key(|&v| d0[v]).expect("separator input has n > 0");
     let d1 = g.bfs_distances(far1);
-    let far2 = (0..n).max_by_key(|&v| d1[v]).unwrap();
+    let far2 = (0..n).max_by_key(|&v| d1[v]).expect("separator input has n > 0");
     seeds.push(far1);
     seeds.push(far2);
     for _ in 0..extra_seeds {

@@ -1,0 +1,225 @@
+//! Baseline ratchet: a checked-in inventory of pre-existing findings.
+//!
+//! `lcg-lint --baseline lcg-lint.baseline.json` fails only on findings *in
+//! excess of* the per-(rule, file) counts recorded here, so a legacy
+//! violation can be burned down incrementally while new ones are blocked
+//! immediately. `--write-baseline` regenerates the file from the current
+//! tree; CI keeps it honest by failing when the tree is *cleaner* than the
+//! baseline claims, prompting a ratchet-down commit.
+//!
+//! The format is a deliberately tiny JSON subset, parsed by hand — the
+//! linter has zero dependencies.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// Per-(rule, file) allowance counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(rule, file) -> count` of tolerated findings.
+    pub entries: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Builds a baseline from the active findings of a run.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings.iter().filter(|f| f.allowed.is_none()) {
+            *entries.entry((f.rule.to_string(), f.file.clone())).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Serializes to the canonical JSON form (sorted, one entry per line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+        let mut first = true;
+        for ((rule, file), count) in &self.entries {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {}}}",
+                escape(rule),
+                escape(file),
+                count
+            ));
+        }
+        if !first {
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses the canonical form (tolerant of whitespace and key order).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        // Find each `{...}` object that is not the outer one by scanning for
+        // objects containing a "rule" key.
+        let mut rest = text;
+        while let Some(start) = rest.find('{') {
+            let chunk = &rest[start + 1..];
+            let end = match chunk.find('}') {
+                Some(e) => e,
+                None => break,
+            };
+            let body = &chunk[..end];
+            if body.contains("\"rule\"") {
+                let rule = extract_str(body, "rule")?;
+                let file = extract_str(body, "file")?;
+                let count = extract_num(body, "count")?;
+                entries.insert((rule, file), count);
+                rest = &chunk[end + 1..];
+            } else {
+                // outer object or envelope: descend past its opening brace
+                rest = chunk;
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Findings in excess of the baseline, i.e. the ones that fail the run.
+    pub fn new_findings<'a>(&self, findings: &'a [Finding]) -> Vec<&'a Finding> {
+        let mut budget = self.entries.clone();
+        let mut fresh = Vec::new();
+        for f in findings.iter().filter(|f| f.allowed.is_none()) {
+            let key = (f.rule.to_string(), f.file.clone());
+            match budget.get_mut(&key) {
+                Some(b) if *b > 0 => *b -= 1,
+                _ => fresh.push(f),
+            }
+        }
+        fresh
+    }
+
+    /// Baseline entries no longer exercised by the tree (ratchet-down hints).
+    pub fn stale_entries(&self, findings: &[Finding]) -> Vec<(String, String, usize)> {
+        let mut used: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings.iter().filter(|f| f.allowed.is_none()) {
+            *used.entry((f.rule.to_string(), f.file.clone())).or_insert(0) += 1;
+        }
+        self.entries
+            .iter()
+            .filter_map(|((rule, file), &count)| {
+                let have = used.get(&(rule.clone(), file.clone())).copied().unwrap_or(0);
+                if have < count {
+                    Some((rule.clone(), file.clone(), count - have))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn extract_str(body: &str, key: &str) -> Result<String, String> {
+    let pat = format!("\"{key}\"");
+    let kpos = body
+        .find(&pat)
+        .ok_or_else(|| format!("baseline entry missing key {key:?}: {body}"))?;
+    let after = &body[kpos + pat.len()..];
+    let colon = after.find(':').ok_or_else(|| format!("missing `:` after {key:?}"))?;
+    let after = after[colon + 1..].trim_start();
+    let inner = after
+        .strip_prefix('"')
+        .ok_or_else(|| format!("{key:?} is not a string: {after}"))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Ok(out),
+            '\\' => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some(other) => out.push(other),
+                None => break,
+            },
+            c => out.push(c),
+        }
+    }
+    Err(format!("unterminated string for key {key:?}"))
+}
+
+fn extract_num(body: &str, key: &str) -> Result<usize, String> {
+    let pat = format!("\"{key}\"");
+    let kpos = body
+        .find(&pat)
+        .ok_or_else(|| format!("baseline entry missing key {key:?}: {body}"))?;
+    let after = &body[kpos + pat.len()..];
+    let colon = after.find(':').ok_or_else(|| format!("missing `:` after {key:?}"))?;
+    let digits: String = after[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits
+        .parse()
+        .map_err(|_| format!("{key:?} is not a number in {body}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{severity_of, Finding};
+
+    fn finding(rule: &'static str, file: &str) -> Finding {
+        Finding {
+            rule,
+            severity: severity_of(rule),
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            allowed: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let fs = vec![
+            finding("P001", "crates/a/src/x.rs"),
+            finding("P001", "crates/a/src/x.rs"),
+            finding("D001", "crates/b/src/y.rs"),
+        ];
+        let b = Baseline::from_findings(&fs);
+        let parsed = Baseline::parse(&b.to_json()).expect("canonical form parses");
+        assert_eq!(b, parsed);
+        assert_eq!(parsed.entries[&("P001".into(), "crates/a/src/x.rs".into())], 2);
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let b = Baseline::parse("{\n  \"version\": 1,\n  \"entries\": []\n}\n").expect("parses");
+        assert!(b.entries.is_empty());
+    }
+
+    #[test]
+    fn ratchet_blocks_only_excess() {
+        let fs = vec![finding("P001", "f.rs"), finding("P001", "f.rs")];
+        let mut b = Baseline::from_findings(&fs[..1]);
+        assert_eq!(b.new_findings(&fs).len(), 1);
+        b = Baseline::from_findings(&fs);
+        assert!(b.new_findings(&fs).is_empty());
+        assert_eq!(b.stale_entries(&fs[..1]).len(), 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! CLI for the workspace linter. See `lcg-lint --help`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lcg_lint::{find_workspace_root, lint_workspace, Baseline, Report, RULES};
+
+const USAGE: &str = "\
+lcg-lint — determinism and CONGEST-model invariants, enforced at the source level
+
+USAGE:
+    lcg-lint [OPTIONS] [PATH_PREFIX...]
+
+ARGS:
+    [PATH_PREFIX...]   workspace-relative prefixes to lint (default: everything),
+                       e.g. `crates/congest crates/expander`
+
+OPTIONS:
+    --root <DIR>             workspace root (default: walk up from cwd)
+    --format <human|json>    report format (default: human)
+    --baseline <FILE>        fail only on findings in excess of this baseline
+    --write-baseline <FILE>  write the current findings as the new baseline
+    --list-rules             print the rule table and exit
+    -h, --help               print this help
+
+EXIT STATUS:
+    0  no findings above baseline (and no stale baseline entries)
+    1  new findings (or a stale baseline to ratchet down)
+    2  usage or I/O error
+
+Suppress a finding inline, with a mandatory justification:
+    // lcg-lint: allow(D001) -- membership-only set, iteration never observed
+";
+
+struct Opts {
+    root: Option<PathBuf>,
+    format: String,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    list_rules: bool,
+    prefixes: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        format: "human".to_string(),
+        baseline: None,
+        write_baseline: None,
+        list_rules: false,
+        prefixes: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => opts.root = Some(PathBuf::from(take(&mut it, "--root")?)),
+            "--format" => opts.format = take(&mut it, "--format")?,
+            "--baseline" => opts.baseline = Some(PathBuf::from(take(&mut it, "--baseline")?)),
+            "--write-baseline" => {
+                opts.write_baseline = Some(PathBuf::from(take(&mut it, "--write-baseline")?))
+            }
+            "--list-rules" => opts.list_rules = true,
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            other => opts.prefixes.push(other.to_string()),
+        }
+    }
+    if opts.format != "human" && opts.format != "json" {
+        return Err(format!("unknown format {:?} (use human or json)", opts.format));
+    }
+    Ok(opts)
+}
+
+fn take(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("lcg-lint: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in RULES {
+            println!("{}  {:<7}  {}", rule.id, rule.severity.as_str(), rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("lcg-lint: could not find a workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (findings, files_scanned) = match lint_workspace(&root, &opts.prefixes) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lcg-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &opts.write_baseline {
+        let b = Baseline::from_findings(&findings);
+        if let Err(e) = std::fs::write(path, b.to_json()) {
+            eprintln!("lcg-lint: writing baseline {path:?} failed: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "lcg-lint: wrote baseline {:?} ({} entries)",
+            path,
+            b.entries.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match &opts.baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("lcg-lint: baseline {path:?} is malformed: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("lcg-lint: reading baseline {path:?} failed: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => Baseline::default(),
+    };
+
+    let report = Report {
+        fresh: baseline.new_findings(&findings),
+        stale: baseline.stale_entries(&findings),
+        findings: &findings,
+        files_scanned,
+    };
+    match opts.format.as_str() {
+        "json" => print!("{}", report.render_json()),
+        _ => print!("{}", report.render_human()),
+    }
+    if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,108 @@
+//! Human-readable and machine-readable (`--format json`) reports.
+
+use crate::baseline::escape;
+use crate::rules::Finding;
+
+/// Everything a run produces, ready for rendering.
+pub struct Report<'a> {
+    /// Every finding, suppressed ones included.
+    pub findings: &'a [Finding],
+    /// Findings in excess of the baseline (these fail the run).
+    pub fresh: Vec<&'a Finding>,
+    /// Ratchet-down hints: baseline entries the tree no longer needs.
+    pub stale: Vec<(String, String, usize)>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report<'_> {
+    /// Exit status: nonzero when new findings exist or the baseline is stale.
+    pub fn failed(&self) -> bool {
+        !self.fresh.is_empty() || !self.stale.is_empty()
+    }
+
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.fresh {
+            out.push_str(&format!(
+                "{}: [{}] {}:{}:{}: {}\n",
+                f.severity.as_str(),
+                f.rule,
+                f.file,
+                f.line,
+                f.col,
+                f.message
+            ));
+        }
+        for (rule, file, excess) in &self.stale {
+            out.push_str(&format!(
+                "stale-baseline: [{rule}] {file}: {excess} baselined finding(s) no longer present — ratchet the baseline down (rerun with --write-baseline)\n"
+            ));
+        }
+        let suppressed = self.findings.iter().filter(|f| f.allowed.is_some()).count();
+        let baselined = self
+            .findings
+            .iter()
+            .filter(|f| f.allowed.is_none())
+            .count()
+            .saturating_sub(self.fresh.len());
+        out.push_str(&format!(
+            "lcg-lint: {} file(s) scanned, {} new finding(s), {} baselined, {} suppressed by allow\n",
+            self.files_scanned,
+            self.fresh.len(),
+            baselined,
+            suppressed
+        ));
+        out
+    }
+
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [\n");
+        let mut first = true;
+        for f in &self.fresh {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+                f.rule,
+                f.severity.as_str(),
+                escape(&f.file),
+                f.line,
+                f.col,
+                escape(&f.message)
+            ));
+        }
+        if !first {
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"stale_baseline\": [\n");
+        let mut first = true;
+        for (rule, file, excess) in &self.stale {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"excess\": {}}}",
+                rule,
+                escape(file),
+                excess
+            ));
+        }
+        if !first {
+            out.push('\n');
+        }
+        let suppressed = self.findings.iter().filter(|f| f.allowed.is_some()).count();
+        out.push_str(&format!(
+            "  ],\n  \"files_scanned\": {},\n  \"total_findings\": {},\n  \"new_findings\": {},\n  \"suppressed\": {},\n  \"ok\": {}\n}}\n",
+            self.files_scanned,
+            self.findings.iter().filter(|f| f.allowed.is_none()).count(),
+            self.fresh.len(),
+            suppressed,
+            !self.failed()
+        ));
+        out
+    }
+}

@@ -1,0 +1,627 @@
+//! Rule definitions and the per-file checking pass.
+//!
+//! Every rule has an ID, a severity, and an inline escape hatch:
+//!
+//! ```text
+//! // lcg-lint: allow(D001) -- justification for why this is safe
+//! ```
+//!
+//! The allow comment suppresses matching findings on the same line (trailing
+//! comment) or on the next code line (standalone comment). An allow without
+//! a `-- reason` is ignored and reported as a finding itself (A000), so
+//! suppressions are always justified in-tree.
+
+use crate::scanner::Line;
+
+/// Finding severity. Both fail the build when above baseline; the split
+/// exists so reports can rank output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One rule violation (or suppressed violation) at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column of the matched token.
+    pub col: usize,
+    pub message: String,
+    /// `Some(reason)` when an `lcg-lint: allow` suppressed this finding.
+    pub allowed: Option<String>,
+}
+
+/// Static description of a rule, for `--list-rules` and the docs table.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub severity: Severity,
+    pub summary: &'static str,
+}
+
+/// The rule table. Keep in sync with DESIGN.md §"Invariants & static analysis".
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D001",
+        severity: Severity::Error,
+        summary: "no nondeterministic hash-order iteration (HashMap/HashSet iter/keys/values/drain/retain/for) in deterministic crates",
+    },
+    RuleInfo {
+        id: "D002",
+        severity: Severity::Error,
+        summary: "no ambient randomness (thread_rng, from_entropy, OsRng, rand::random) outside the bench crate",
+    },
+    RuleInfo {
+        id: "D003",
+        severity: Severity::Error,
+        summary: "no wall-clock reads (Instant, SystemTime) outside the bench crate and tests",
+    },
+    RuleInfo {
+        id: "M001",
+        severity: Severity::Error,
+        summary: "NodeProgram protocol files must not use shared/interior mutability (communicate only via the Outbox API)",
+    },
+    RuleInfo {
+        id: "P001",
+        severity: Severity::Warning,
+        summary: "no unwrap()/panic!/todo!/unimplemented! in library crates outside tests; use expect(\"<invariant>\") or Result",
+    },
+    RuleInfo {
+        id: "U001",
+        severity: Severity::Error,
+        summary: "unsafe code is forbidden workspace-wide",
+    },
+    RuleInfo {
+        id: "A000",
+        severity: Severity::Error,
+        summary: "lcg-lint allow comment without a `-- reason` justification",
+    },
+];
+
+pub fn severity_of(rule: &str) -> Severity {
+    RULES
+        .iter()
+        .find(|r| r.id == rule)
+        .map(|r| r.severity)
+        .unwrap_or(Severity::Error)
+}
+
+/// Crates whose results must be a pure function of (input, seed): the
+/// simulator, the decomposition/routing layer, the graph substrate, the
+/// sequential solvers, the framework, and the umbrella crate.
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["congest", "expander", "graph", "solvers", "core", "locongest"];
+
+/// Per-file facts the rules dispatch on.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// `crates/<name>` component, or `locongest` for root `src/`/`tests/`.
+    pub crate_name: String,
+    /// Integration-test / example / bench *target* (not library code).
+    pub non_library_target: bool,
+}
+
+impl FileCtx {
+    pub fn from_rel_path(rel: &str) -> FileCtx {
+        let rel = rel.replace('\\', "/");
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("locongest")
+            .to_string();
+        let non_library_target = {
+            let within = rel
+                .strip_prefix(&format!("crates/{crate_name}/"))
+                .unwrap_or(rel.as_str());
+            within.starts_with("tests/")
+                || within.starts_with("benches/")
+                || within.starts_with("examples/")
+        };
+        FileCtx { rel, crate_name, non_library_target }
+    }
+
+    fn deterministic(&self) -> bool {
+        DETERMINISTIC_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    fn bench_crate(&self) -> bool {
+        self.crate_name == "bench"
+    }
+}
+
+/// An `lcg-lint: allow(...)` parsed from a comment.
+#[derive(Debug, Clone, Default)]
+struct Allow {
+    rules: Vec<String>,
+    reason: Option<String>,
+}
+
+fn parse_allow(comment: &str) -> Option<Allow> {
+    let marker = "lcg-lint: allow(";
+    let start = comment.find(marker)?;
+    // Only a comment that *starts* with the marker is an escape hatch;
+    // prose that merely mentions the syntax mid-sentence is not.
+    if comment[..start]
+        .chars()
+        .any(|c| !(c.is_whitespace() || c == '/' || c == '!' || c == '*'))
+    {
+        return None;
+    }
+    let rest = &comment[start + marker.len()..];
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let tail = &rest[close + 1..];
+    let reason = tail
+        .find("--")
+        .map(|i| tail[i + 2..].trim().to_string())
+        .filter(|r| !r.is_empty());
+    Some(Allow { rules, reason })
+}
+
+/// Lints one scanned file. `lines` comes from [`crate::scanner::scan`].
+pub fn check_file(ctx: &FileCtx, lines: &[Line]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Pass 0: allow comments. allows[i] = allow applying to line i (0-based).
+    let mut allows: Vec<Option<Allow>> = vec![None; lines.len()];
+    for (i, line) in lines.iter().enumerate() {
+        if let Some(allow) = parse_allow(&line.comment) {
+            if allow.reason.is_none() {
+                findings.push(Finding {
+                    rule: "A000",
+                    severity: severity_of("A000"),
+                    file: ctx.rel.clone(),
+                    line: i + 1,
+                    col: 1,
+                    message: "allow comment is missing a `-- reason` justification and is ignored"
+                        .to_string(),
+                    allowed: None,
+                });
+                continue;
+            }
+            if line.code.trim().is_empty() {
+                // standalone comment: applies to the next line
+                if i + 1 < lines.len() {
+                    allows[i + 1] = Some(allow);
+                }
+            } else {
+                // trailing comment: applies to its own line
+                allows[i] = Some(allow);
+            }
+        }
+    }
+
+    // Pass 1: hash-typed bindings (for D001 receiver tracking).
+    let hash_bindings = if ctx.deterministic() {
+        collect_hash_bindings(lines)
+    } else {
+        Vec::new()
+    };
+
+    // Does this file define NodeProgram protocol state (for M001)?
+    let protocol_file = ctx.rel.ends_with("congest/src/algorithm.rs")
+        || lines
+            .iter()
+            .any(|l| !l.in_test && l.code.contains("impl NodeProgram"));
+
+    let mut emit = |findings: &mut Vec<Finding>,
+                    rule: &'static str,
+                    idx: usize,
+                    col: usize,
+                    message: String| {
+        let allowed = allows[idx].as_ref().and_then(|a| {
+            if a.rules.iter().any(|r| r == rule) {
+                a.reason.clone()
+            } else {
+                None
+            }
+        });
+        findings.push(Finding {
+            rule,
+            severity: severity_of(rule),
+            file: ctx.rel.clone(),
+            line: idx + 1,
+            col: col + 1,
+            message,
+            allowed,
+        });
+    };
+
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if code.trim().is_empty() {
+            continue;
+        }
+
+        // U001: workspace-wide, including tests.
+        if let Some(col) = find_word(code, "unsafe") {
+            emit(&mut findings, "U001", i, col, "`unsafe` is forbidden workspace-wide (see [workspace.lints] unsafe_code = \"forbid\")".to_string());
+        }
+
+        // D002: ambient randomness. Applies everywhere (tests included —
+        // seeded RNGs are the repo convention) except the bench crate.
+        if !ctx.bench_crate() {
+            for token in ["thread_rng", "from_entropy", "OsRng"] {
+                if let Some(col) = find_word(code, token) {
+                    emit(&mut findings, "D002", i, col, format!("ambient randomness `{token}` breaks seed-reproducibility; use a seeded ChaCha8Rng (gen::seeded_rng)"));
+                }
+            }
+            if let Some(col) = code.find("rand::random") {
+                emit(&mut findings, "D002", i, col, "ambient randomness `rand::random` breaks seed-reproducibility; use a seeded ChaCha8Rng".to_string());
+            }
+        }
+
+        // D003: wall clock. Benches and tests may time things; library and
+        // example code must stay clock-free so runs are replayable.
+        if !ctx.bench_crate() && !line.in_test && !ctx.non_library_target {
+            for token in ["Instant", "SystemTime"] {
+                if let Some(col) = find_word(code, token) {
+                    emit(&mut findings, "D003", i, col, format!("wall-clock `{token}` in deterministic code; measure cost in rounds/messages (RoundStats) instead"));
+                }
+            }
+        }
+
+        // M001: protocol isolation. NodeProgram state must not smuggle
+        // shared mutability across vertex boundaries — the parallel engine's
+        // bit-identical guarantee rests on per-vertex state isolation.
+        if protocol_file && !line.in_test {
+            for token in ["RefCell", "Mutex", "RwLock", "static mut", "thread_local!"] {
+                if let Some(col) = code.find(token) {
+                    // `Cell` alone is too short/ambiguous; RefCell covers the
+                    // realistic escape. Atomics matched by word prefix below.
+                    emit(&mut findings, "M001", i, col, format!("`{token}` in a NodeProgram protocol file: node programs must communicate only via the Outbox API, never via shared state"));
+                }
+            }
+            for token in ["AtomicUsize", "AtomicU64", "AtomicU32", "AtomicBool", "AtomicI64"] {
+                if let Some(col) = find_word(code, token) {
+                    emit(&mut findings, "M001", i, col, format!("`{token}` in a NodeProgram protocol file: node programs must communicate only via the Outbox API, never via shared state"));
+                }
+            }
+        }
+
+        // P001: panic-free library code. `expect("<invariant>")` is the
+        // sanctioned form for documented invariants; bare unwrap/panic is not.
+        if ctx.deterministic() && !line.in_test && !ctx.non_library_target {
+            if let Some(col) = code.find(".unwrap()") {
+                emit(&mut findings, "P001", i, col, "bare `.unwrap()` in library code; state the invariant with `.expect(\"...\")` or return a Result".to_string());
+            }
+            for token in ["panic!(", "todo!(", "unimplemented!("] {
+                if let Some(col) = code.find(token) {
+                    let bang = token.trim_end_matches('(');
+                    emit(&mut findings, "P001", i, col, format!("`{bang}` in library code; document the invariant (assert!/expect with message) or return a Result"));
+                }
+            }
+        }
+
+        // D001: hash-order iteration in deterministic crates.
+        if ctx.deterministic() && !line.in_test {
+            check_d001(&mut findings, &mut emit, &hash_bindings, i, code);
+        }
+    }
+
+    findings
+}
+
+const D001_ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+    ".retain(",
+];
+
+#[allow(clippy::ptr_arg)]
+fn check_d001(
+    findings: &mut Vec<Finding>,
+    emit: &mut impl FnMut(&mut Vec<Finding>, &'static str, usize, usize, String),
+    hash_bindings: &[String],
+    i: usize,
+    code: &str,
+) {
+    for name in hash_bindings {
+        // method-call iteration: `name.iter()`, `name.keys()`, ...
+        let mut search = 0;
+        while let Some(pos) = code[search..].find(name.as_str()).map(|p| p + search) {
+            search = pos + name.len();
+            if !word_boundary(code, pos, name.len()) {
+                continue;
+            }
+            let rest = &code[pos + name.len()..];
+            if let Some(m) = D001_ITER_METHODS.iter().find(|m| rest.starts_with(**m)) {
+                let method = m.trim_start_matches('.').trim_end_matches('(').trim_end_matches(')');
+                emit(findings, "D001", i, pos, format!("iteration over hash collection `{name}` (`.{method}`) has nondeterministic order; use BTreeMap/BTreeSet or collect-and-sort"));
+            }
+        }
+        // `for x in name` / `for x in &name` / `for x in &mut name`
+        if let Some(expr_start) = for_in_expr(code) {
+            let expr = code[expr_start..].trim_start();
+            let expr = expr
+                .strip_prefix("&mut ")
+                .or_else(|| expr.strip_prefix('&'))
+                .unwrap_or(expr);
+            if expr.starts_with(name.as_str())
+                && !expr[name.len()..].starts_with(|c: char| c.is_alphanumeric() || c == '_')
+                && !expr[name.len()..].starts_with('.')
+            {
+                emit(findings, "D001", i, expr_start, format!("`for` loop over hash collection `{name}` has nondeterministic order; use BTreeMap/BTreeSet or collect-and-sort"));
+            }
+        }
+    }
+}
+
+/// Start index of the expression after ` in ` in a `for ... in expr` line.
+fn for_in_expr(code: &str) -> Option<usize> {
+    let for_pos = find_word(code, "for")?;
+    let in_pos = code[for_pos..].find(" in ")? + for_pos;
+    Some(in_pos + 4)
+}
+
+/// Collects identifiers bound (let, param, field) to a type mentioning
+/// `HashMap`/`HashSet` anywhere in its text — including `Vec<HashMap<..>>`,
+/// whose outer iteration yields hash maps that then iterate downstream.
+fn collect_hash_bindings(lines: &[Line]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for line in lines {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        if !code.contains("HashMap") && !code.contains("HashSet") {
+            continue;
+        }
+        // `let [mut] name` bindings on the same line as the hash type
+        if let Some(let_pos) = find_word(code, "let") {
+            let after = code[let_pos + 3..].trim_start();
+            let after = after.strip_prefix("mut ").unwrap_or(after).trim_start();
+            if let Some(name) = leading_ident(after) {
+                push_unique(&mut names, name);
+            }
+        }
+        // `name: ...HashMap...` bindings (params, struct fields): the type
+        // text runs to the next `,` or `)` at angle-bracket depth 0.
+        let chars: Vec<char> = code.chars().collect();
+        let mut j = 0;
+        while j < chars.len() {
+            if chars[j] == ':' && (j + 1 >= chars.len() || chars[j + 1] != ':') && (j == 0 || chars[j - 1] != ':') {
+                if let Some(name) = trailing_ident(&code[..j]) {
+                    let ty_end = type_extent(&chars, j + 1);
+                    let ty: String = chars[j + 1..ty_end].iter().collect();
+                    if ty.contains("HashMap") || ty.contains("HashSet") {
+                        push_unique(&mut names, name);
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+    names
+}
+
+/// Extent of a type annotation starting at `start`: up to the first `,`, `)`,
+/// `;`, `=` (not `=>`... close enough) or `{` at angle depth 0.
+fn type_extent(chars: &[char], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < chars.len() {
+        match chars[j] {
+            '<' => depth += 1,
+            '>' => depth -= 1,
+            ',' | ')' | ';' | '{' if depth <= 0 => return j,
+            '=' if depth <= 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+fn leading_ident(s: &str) -> Option<String> {
+    let end = s
+        .char_indices()
+        .find(|&(_, c)| !(c.is_alphanumeric() || c == '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    if end == 0 || s.as_bytes()[0].is_ascii_digit() {
+        return None;
+    }
+    Some(s[..end].to_string())
+}
+
+fn trailing_ident(s: &str) -> Option<String> {
+    let trimmed = s.trim_end();
+    let start = trimmed
+        .char_indices()
+        .rev()
+        .find(|&(_, c)| !(c.is_alphanumeric() || c == '_'))
+        .map(|(i, c)| i + c.len_utf8())
+        .unwrap_or(0);
+    let ident = &trimmed[start..];
+    if ident.is_empty() || ident.as_bytes()[0].is_ascii_digit() {
+        return None;
+    }
+    Some(ident.to_string())
+}
+
+fn push_unique(names: &mut Vec<String>, name: String) {
+    if !names.contains(&name) {
+        names.push(name);
+    }
+}
+
+/// Finds `word` in `code` at identifier boundaries.
+pub fn find_word(code: &str, word: &str) -> Option<usize> {
+    let mut search = 0;
+    while let Some(pos) = code[search..].find(word).map(|p| p + search) {
+        if word_boundary(code, pos, word.len()) {
+            return Some(pos);
+        }
+        search = pos + word.len();
+    }
+    None
+}
+
+fn word_boundary(code: &str, pos: usize, len: usize) -> bool {
+    let bytes = code.as_bytes();
+    let before_ok = pos == 0 || {
+        let c = bytes[pos - 1] as char;
+        !(c.is_alphanumeric() || c == '_')
+    };
+    let after_ok = pos + len >= bytes.len() || {
+        let c = bytes[pos + len] as char;
+        !(c.is_alphanumeric() || c == '_')
+    };
+    before_ok && after_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn ctx(rel: &str) -> FileCtx {
+        FileCtx::from_rel_path(rel)
+    }
+
+    fn lint(rel: &str, src: &str) -> Vec<Finding> {
+        check_file(&ctx(rel), &scan(src))
+    }
+
+    fn active<'a>(fs: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+        fs.iter().filter(|f| f.rule == rule && f.allowed.is_none()).collect()
+    }
+
+    #[test]
+    fn d001_flags_map_iteration() {
+        let src = "fn f() {\n    let mut m: std::collections::HashMap<u32, u32> = Default::default();\n    for (k, v) in m.iter() { body(k, v); }\n}\n";
+        let fs = lint("crates/solvers/src/x.rs", src);
+        assert_eq!(active(&fs, "D001").len(), 1);
+        assert_eq!(active(&fs, "D001")[0].line, 3);
+    }
+
+    #[test]
+    fn d001_flags_for_loop_over_map() {
+        let src = "fn f() {\n    let m = std::collections::HashMap::<u32, u32>::new();\n    for kv in &m { body(kv); }\n}\n";
+        let fs = lint("crates/core/src/x.rs", src);
+        assert_eq!(active(&fs, "D001").len(), 1);
+    }
+
+    #[test]
+    fn d001_membership_only_is_clean() {
+        let src = "fn f() {\n    let mut s: std::collections::HashSet<u32> = Default::default();\n    s.insert(3);\n    if s.contains(&3) { body(); }\n}\n";
+        let fs = lint("crates/graph/src/x.rs", src);
+        assert!(active(&fs, "D001").is_empty());
+    }
+
+    #[test]
+    fn d001_btree_is_clean() {
+        let src = "fn f() {\n    let mut m: std::collections::BTreeMap<u32, u32> = Default::default();\n    for (k, v) in m.iter() { body(k, v); }\n}\n";
+        let fs = lint("crates/solvers/src/x.rs", src);
+        assert!(active(&fs, "D001").is_empty());
+    }
+
+    #[test]
+    fn d001_skips_nondeterministic_crates_and_tests() {
+        let src = "fn f() {\n    let m = std::collections::HashMap::<u32, u32>::new();\n    for kv in m.iter() { body(kv); }\n}\n";
+        assert!(active(&lint("crates/bench/src/x.rs", src), "D001").is_empty());
+        let test_src = format!("#[cfg(test)]\nmod tests {{\n{src}\n}}\n");
+        assert!(active(&lint("crates/solvers/src/x.rs", &test_src), "D001").is_empty());
+    }
+
+    #[test]
+    fn d002_flags_thread_rng_and_allows_in_bench() {
+        let src = "fn f() { let mut rng = rand::thread_rng(); }\n";
+        assert_eq!(active(&lint("crates/core/src/x.rs", src), "D002").len(), 1);
+        assert!(active(&lint("crates/bench/src/x.rs", src), "D002").is_empty());
+    }
+
+    #[test]
+    fn d003_flags_instant_outside_tests() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(active(&lint("crates/congest/src/x.rs", src), "D003").len(), 1);
+        let test_src = format!("#[cfg(test)]\nmod tests {{\n{src}\n}}\n");
+        assert!(active(&lint("crates/congest/src/x.rs", &test_src), "D003").is_empty());
+    }
+
+    #[test]
+    fn m001_flags_shared_state_in_protocol_file() {
+        let src = "use std::sync::Mutex;\nstruct P { shared: Mutex<Vec<u64>> }\nimpl NodeProgram for P {}\n";
+        let fs = lint("crates/core/src/proto.rs", src);
+        assert!(!active(&fs, "M001").is_empty());
+        let no_proto = "use std::sync::Mutex;\nstruct Q { shared: Mutex<Vec<u64>> }\n";
+        assert!(active(&lint("crates/core/src/other.rs", no_proto), "M001").is_empty());
+    }
+
+    #[test]
+    fn p001_flags_unwrap_not_unwrap_or() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+        let fs = lint("crates/graph/src/x.rs", src);
+        assert_eq!(active(&fs, "P001").len(), 1);
+        assert_eq!(active(&fs, "P001")[0].line, 1);
+    }
+
+    #[test]
+    fn p001_expect_is_sanctioned() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.expect(\"graph is connected\") }\n";
+        assert!(active(&lint("crates/graph/src/x.rs", src), "P001").is_empty());
+    }
+
+    #[test]
+    fn u001_flags_unsafe_everywhere() {
+        let src = "fn f() { unsafe { body(); } }\n";
+        assert_eq!(active(&lint("crates/bench/src/x.rs", src), "U001").len(), 1);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_line() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lcg-lint: allow(P001) -- demo\n";
+        let fs = lint("crates/graph/src/x.rs", src);
+        assert!(active(&fs, "P001").is_empty());
+        assert_eq!(fs.iter().filter(|f| f.allowed.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn allow_standalone_suppresses_next_line() {
+        let src = "// lcg-lint: allow(D003) -- example timing\nfn f() { let t = std::time::Instant::now(); }\n";
+        assert!(active(&lint("crates/core/src/x.rs", src), "D003").is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_a000_and_ignored() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lcg-lint: allow(P001)\n";
+        let fs = lint("crates/graph/src/x.rs", src);
+        assert_eq!(active(&fs, "P001").len(), 1);
+        assert_eq!(active(&fs, "A000").len(), 1);
+    }
+
+    #[test]
+    fn tokens_inside_strings_do_not_fire() {
+        let src = "fn f() { log(\"thread_rng Instant unsafe HashMap.iter()\"); }\n";
+        let fs = lint("crates/core/src/x.rs", src);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

@@ -1,0 +1,361 @@
+//! String/comment-aware line scanner.
+//!
+//! `lcg-lint` deliberately avoids a full Rust parser (`syn` would drag in a
+//! proc-macro toolchain the vendored-offline workspace does not carry).
+//! Instead, this module lexes a source file just far enough to answer three
+//! questions per line:
+//!
+//! 1. What is the *code* text, with string/char literals blanked and
+//!    comments removed (so `"HashMap"` inside a string never matches a
+//!    rule)? Columns are preserved: every non-code byte is replaced by a
+//!    space.
+//! 2. What is the *comment* text (so `// lcg-lint: allow(...)` escape
+//!    hatches can be parsed)?
+//! 3. Is the line inside a `#[cfg(test)]` (or `#[test]`) brace block?
+//!
+//! The lexer understands line comments, nested block comments, string
+//! literals (including multi-line), raw strings with hash fences, byte
+//! strings, char literals, and lifetimes (`'a` is not a char literal).
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text with literals blanked and comments stripped (column-preserving).
+    pub code: String,
+    /// Concatenated comment text on this line (line + block comments).
+    pub comment: String,
+    /// `true` when the line sits inside a `#[cfg(test)]`/`#[test]` brace block.
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    /// Nesting depth of `/* ... */` (Rust block comments nest).
+    BlockComment(u32),
+    Str,
+    /// Number of `#` in the raw-string fence.
+    RawStr(u32),
+}
+
+/// Lexes `source` into per-line code/comment views and marks test regions.
+pub fn scan(source: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Normal;
+
+    let bytes: Vec<char> = source.chars().collect();
+    let n = bytes.len();
+    let mut i = 0;
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = bytes.get(i + 1).copied();
+                match (c, next) {
+                    ('/', Some('/')) => {
+                        state = State::LineComment;
+                        cur.code.push_str("  ");
+                        i += 2;
+                    }
+                    ('/', Some('*')) => {
+                        state = State::BlockComment(1);
+                        cur.code.push_str("  ");
+                        i += 2;
+                    }
+                    ('"', _) => {
+                        state = State::Str;
+                        cur.code.push('"');
+                        i += 1;
+                    }
+                    ('r', Some('"')) | ('r', Some('#')) if is_raw_start(&bytes, i) => {
+                        let hashes = count_hashes(&bytes, i + 1);
+                        state = State::RawStr(hashes);
+                        cur.code.push('r');
+                        for _ in 0..hashes {
+                            cur.code.push(' ');
+                        }
+                        cur.code.push('"');
+                        i += 2 + hashes as usize;
+                    }
+                    ('b', Some('"')) => {
+                        state = State::Str;
+                        cur.code.push_str("b\"");
+                        i += 2;
+                    }
+                    ('b', Some('\'')) => {
+                        // byte char literal b'x' or b'\x00'
+                        let consumed = char_literal_len(&bytes, i + 1);
+                        for _ in 0..1 + consumed {
+                            cur.code.push(' ');
+                        }
+                        i += 1 + consumed;
+                    }
+                    ('\'', _) => {
+                        let consumed = char_literal_len(&bytes, i);
+                        if consumed == 0 {
+                            // lifetime: keep the tick so code text stays aligned
+                            cur.code.push('\'');
+                            i += 1;
+                        } else {
+                            for _ in 0..consumed {
+                                cur.code.push(' ');
+                            }
+                            i += consumed;
+                        }
+                    }
+                    _ => {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = bytes.get(i + 1).copied();
+                match (c, next) {
+                    ('*', Some('/')) => {
+                        state = if depth == 1 {
+                            State::Normal
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        cur.code.push_str("  ");
+                        i += 2;
+                    }
+                    ('/', Some('*')) => {
+                        state = State::BlockComment(depth + 1);
+                        cur.comment.push_str("/*");
+                        cur.code.push_str("  ");
+                        i += 2;
+                    }
+                    _ => {
+                        cur.comment.push(c);
+                        cur.code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+            State::Str => {
+                match c {
+                    '\\' => {
+                        cur.code.push(' ');
+                        if i + 1 < n && bytes[i + 1] != '\n' {
+                            cur.code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    '"' => {
+                        state = State::Normal;
+                        cur.code.push('"');
+                        i += 1;
+                    }
+                    _ => {
+                        cur.code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && has_hashes(&bytes, i + 1, hashes) {
+                    state = State::Normal;
+                    cur.code.push('"');
+                    for _ in 0..hashes {
+                        cur.code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// `r"` or `r#...#"` raw-string start at position `i` (which holds `r`)?
+fn is_raw_start(bytes: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == '#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == '"'
+}
+
+fn count_hashes(bytes: &[char], mut i: usize) -> u32 {
+    let mut h = 0;
+    while i < bytes.len() && bytes[i] == '#' {
+        h += 1;
+        i += 1;
+    }
+    h
+}
+
+fn has_hashes(bytes: &[char], mut i: usize, hashes: u32) -> bool {
+    for _ in 0..hashes {
+        if i >= bytes.len() || bytes[i] != '#' {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Length of a char literal starting at the `'` at `i`, or 0 if `'` starts a
+/// lifetime. Handles `'x'`, escapes (`'\n'`, `'\u{1F600}'`).
+fn char_literal_len(bytes: &[char], i: usize) -> usize {
+    debug_assert_eq!(bytes.get(i), Some(&'\''));
+    let mut j = i + 1;
+    if j >= bytes.len() {
+        return 0;
+    }
+    if bytes[j] == '\\' {
+        // escape: scan to the closing quote
+        j += 1;
+        while j < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == '\'' {
+            return j - i + 1;
+        }
+        return 0;
+    }
+    // `'a'` is a char literal; `'a` followed by anything else is a lifetime
+    if j + 1 < bytes.len() && bytes[j] != '\'' && bytes[j + 1] == '\'' {
+        return 3;
+    }
+    0
+}
+
+/// Marks lines inside `#[cfg(test)] mod ... { }` / `#[test] fn ... { }`
+/// blocks. A pending test attribute latches onto the next brace block; an
+/// intervening `;`-terminated item clears it.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    // depth at which each active test region closes
+    let mut region_close: Vec<i64> = Vec::new();
+
+    for line in lines.iter_mut() {
+        let code = line.code.clone();
+        if code.contains("#[cfg(test)]") || code.contains("#[test]") || code.contains("#[cfg(all(test") {
+            pending_attr = true;
+        }
+        let mut line_in_test = !region_close.is_empty();
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if pending_attr {
+                        region_close.push(depth);
+                        pending_attr = false;
+                        line_in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_close.last() == Some(&depth) {
+                        region_close.pop();
+                    }
+                }
+                ';' if pending_attr && region_close.is_empty() => {
+                    // attribute applied to a braceless item (e.g. `use`)
+                    pending_attr = false;
+                }
+                _ => {}
+            }
+        }
+        line.in_test = line_in_test || !region_close.is_empty();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_strings_and_comments() {
+        let src = "let x = \"HashMap\"; // HashMap here\nlet y = 1; /* HashSet */ let z = 2;\n";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("HashMap here"));
+        assert!(!lines[1].code.contains("HashSet"));
+        assert!(lines[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let s = r#\"thread_rng()\"#;\nlet c = 'u'; let lt: &'static str = \"x\";\n";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("thread_rng"));
+        assert!(lines[1].code.contains("'static"), "lifetime survives: {:?}", lines[1].code);
+        assert!(!lines[1].code.contains("'u'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let a = 1;\n";
+        let lines = scan(src);
+        assert!(lines[0].code.contains("let a"));
+        assert!(!lines[0].code.contains("outer"));
+    }
+
+    #[test]
+    fn multiline_string_blanks_all_lines() {
+        let src = "let s = \"line one\nunwrap() inside\";\nlet t = 3;\n";
+        let lines = scan(src);
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(lines[2].code.contains("let t"));
+    }
+
+    #[test]
+    fn cfg_test_region_detection() {
+        let src = r#"
+fn lib_code() { body(); }
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); }
+}
+fn more_lib() {}
+"#;
+        let lines = scan(src);
+        assert!(!lines[1].in_test, "lib fn not test");
+        assert!(lines[4].in_test, "inside tests mod");
+        assert!(!lines[6].in_test, "after tests mod");
+    }
+
+    #[test]
+    fn cfg_test_on_use_does_not_latch() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { body(); }\n";
+        let lines = scan(src);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn columns_preserved() {
+        let src = "let m = \"xx\"; m.keys();\n";
+        let lines = scan(src);
+        let idx = lines[0].code.find("m.keys").expect("keys call kept");
+        assert_eq!(idx, src.find("m.keys").expect("present in source"));
+    }
+}

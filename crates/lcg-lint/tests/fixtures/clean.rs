@@ -1,0 +1,57 @@
+// Known-good fixture: idiomatic deterministic-crate code that must produce
+// zero findings. Exercises the patterns closest to each rule's trigger.
+
+use std::collections::{BTreeMap, HashSet};
+
+// D001: ordered iteration is fine; hash membership without iteration is fine.
+fn ordered_iteration(pairs: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    for &(k, v) in pairs {
+        m.insert(k, v);
+    }
+    m.iter().map(|(&k, &v)| (k, v)).collect()
+}
+
+fn hash_membership(edges: &[(u32, u32)]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut fresh = 0;
+    for &(u, _) in edges {
+        if seen.insert(u) {
+            fresh += 1;
+        }
+    }
+    fresh
+}
+
+// D002: seeded randomness is the repo convention.
+fn seeded(seed: u64) -> u64 {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    rng.gen()
+}
+
+// P001: expect with an invariant message, unwrap_or for defaults.
+fn documented(x: Option<u32>) -> u32 {
+    x.expect("invariant: populated during construction")
+}
+
+fn defaulted(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+// Strings mentioning trigger tokens are not code.
+fn strings_are_not_code() -> &'static str {
+    "HashMap.iter() thread_rng() Instant unsafe panic!()"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_time() {
+        let t = std::time::Instant::now();
+        assert_eq!(super::defaulted(None), 0);
+        assert!(t.elapsed().as_secs() < 5);
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+// Allow-suppressed counterpart of d001_bad.rs: every iteration carries a
+// justified escape hatch, so the file is lint-clean.
+
+fn method_iteration() {
+    let mut m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    m.insert(1, 2);
+    // lcg-lint: allow(D001) -- results are folded with a commutative sum, order never observed
+    for (k, v) in m.iter() {
+        observe(k, v);
+    }
+    let ks: Vec<u32> = m.keys().copied().collect(); // lcg-lint: allow(D001) -- sorted immediately below
+    drop(ks);
+}
+
+fn for_loop_iteration(edges: &[(u32, u32)]) {
+    let mut s = std::collections::HashSet::new();
+    for &(u, _) in edges {
+        s.insert(u);
+    }
+    // lcg-lint: allow(D001) -- max() is order-independent
+    for u in &s {
+        observe(u, u);
+    }
+}

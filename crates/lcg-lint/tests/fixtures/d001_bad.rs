@@ -1,0 +1,27 @@
+// Known-bad fixture for D001: hash-order iteration in a deterministic crate.
+// Never compiled — read as text by fixtures_test.rs.
+
+fn method_iteration() {
+    let mut m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    m.insert(1, 2);
+    for (k, v) in m.iter() {
+        observe(k, v);
+    }
+    let ks: Vec<u32> = m.keys().copied().collect();
+    drop(ks);
+}
+
+fn for_loop_iteration(edges: &[(u32, u32)]) {
+    let mut s = std::collections::HashSet::new();
+    for &(u, _) in edges {
+        s.insert(u);
+    }
+    for u in &s {
+        observe(u, u);
+    }
+}
+
+fn nested_hash_param(pending: Vec<std::collections::HashMap<usize, Vec<u64>>>) {
+    let total: usize = pending.iter().map(|m| m.len()).sum();
+    drop(total);
+}

@@ -1,0 +1,8 @@
+// Allow-suppressed counterpart of d002_bad.rs.
+
+fn ambient() -> u64 {
+    use rand::Rng;
+    // lcg-lint: allow(D002) -- fixture demonstrating the escape hatch; never shipped
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,11 @@
+// Known-bad fixture for D002: ambient randomness outside the bench crate.
+
+fn ambient() -> u64 {
+    use rand::Rng;
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn entropy_seeded() {
+    let _rng = rand_chacha::ChaCha8Rng::from_entropy();
+}

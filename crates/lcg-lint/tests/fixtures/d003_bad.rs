@@ -1,0 +1,11 @@
+// Known-bad fixture for D003: wall-clock reads in deterministic library code.
+
+fn timed() -> u64 {
+    let start = std::time::Instant::now();
+    work();
+    start.elapsed().as_micros() as u64
+}
+
+fn stamped() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,25 @@
+// Allow-suppressed counterpart of m001_bad.rs: an instrumentation counter
+// with a written justification.
+
+// lcg-lint: allow(M001) -- debug-only message counter, never read by protocol logic
+use std::sync::Mutex;
+
+struct CountingProgram {
+    // lcg-lint: allow(M001) -- debug-only message counter, never read by protocol logic
+    sent: Mutex<u64>,
+}
+
+impl NodeProgram for CountingProgram {
+    type Output = u64;
+
+    fn round(&mut self, ctx: &mut NodeCtx, _round: usize, _inbox: &Inbox, out: &mut Outbox) -> bool {
+        for p in 0..ctx.ports {
+            out.send(p, vec![1]);
+        }
+        false
+    }
+
+    fn output(&self, _ctx: &NodeCtx) -> u64 {
+        0
+    }
+}

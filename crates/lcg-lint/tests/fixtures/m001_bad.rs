@@ -1,0 +1,25 @@
+// Known-bad fixture for M001: a NodeProgram smuggling shared state across
+// vertex boundaries instead of sending through the Outbox API.
+
+use std::sync::{Arc, Mutex};
+
+struct LeakyProgram {
+    // every "node" can see every other node's value — exactly what the
+    // CONGEST model (and the parallel engine) forbids
+    shared: Arc<Mutex<Vec<u64>>>,
+    me: usize,
+}
+
+impl NodeProgram for LeakyProgram {
+    type Output = u64;
+
+    fn round(&mut self, ctx: &mut NodeCtx, round: usize, inbox: &Inbox, out: &mut Outbox) -> bool {
+        let mut all = self.shared.lock().unwrap();
+        all[self.me] = round as u64; // direct neighbor-state mutation
+        false
+    }
+
+    fn output(&self, _ctx: &NodeCtx) -> u64 {
+        0
+    }
+}

@@ -1,0 +1,27 @@
+// Counterpart of p001_bad.rs: the sanctioned forms (expect with an
+// invariant message, assert!, Result) plus one justified allow.
+
+fn documented(x: Option<u32>) -> u32 {
+    x.expect("caller checked is_some(); see invariant in module docs")
+}
+
+fn checked(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "missing value".to_string())
+}
+
+fn guarded(v: usize, n: usize) {
+    assert!(v < n, "vertex id out of range");
+}
+
+fn legacy(x: Option<u32>) -> u32 {
+    x.unwrap() // lcg-lint: allow(P001) -- hot loop, bounds proven by construction above
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let x: Option<u32> = Some(3);
+        assert_eq!(x.unwrap(), 3);
+    }
+}

@@ -1,0 +1,15 @@
+// Known-bad fixture for P001: undocumented panics in library code.
+
+fn fragile(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn explicit(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+fn pending() {
+    todo!("write this later")
+}

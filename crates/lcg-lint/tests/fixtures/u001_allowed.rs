@@ -1,0 +1,8 @@
+// Counterpart of u001_bad.rs. U001 has an escape hatch like every rule,
+// but note [workspace.lints] unsafe_code = "forbid" still rejects the code
+// at compile time — the allow only silences the linter.
+
+fn transmute_speedup(v: &[u32]) -> &[u8] {
+    // lcg-lint: allow(U001) -- fixture only; the compiler gate still forbids this in real crates
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 4) }
+}

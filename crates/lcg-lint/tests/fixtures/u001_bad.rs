@@ -1,0 +1,5 @@
+// Known-bad fixture for U001: unsafe is forbidden workspace-wide.
+
+fn transmute_speedup(v: &[u32]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 4) }
+}

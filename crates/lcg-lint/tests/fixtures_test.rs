@@ -1,0 +1,122 @@
+//! Fixture-driven self-tests: every rule (a) fires on its known-bad
+//! fixture and (b) is fully suppressed by justified `lcg-lint: allow`
+//! comments in the counterpart fixture. Fixtures live under
+//! `tests/fixtures/` and are excluded from workspace scans; they are read
+//! as text, never compiled.
+
+use std::path::Path;
+
+use lcg_lint::lint_source;
+
+/// Lints a fixture as if it were library code in a deterministic crate.
+fn lint_fixture(name: &str) -> Vec<lcg_lint::Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    lint_source(&format!("crates/congest/src/{name}"), &source)
+}
+
+fn active(findings: &[lcg_lint::Finding], rule: &str) -> usize {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && f.allowed.is_none())
+        .count()
+}
+
+fn suppressed(findings: &[lcg_lint::Finding], rule: &str) -> usize {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && f.allowed.is_some())
+        .count()
+}
+
+#[test]
+fn d001_fires_and_is_suppressible() {
+    let bad = lint_fixture("d001_bad.rs");
+    assert!(active(&bad, "D001") >= 3, "method iter + keys + for loop + Vec<HashMap>: {bad:?}");
+    let ok = lint_fixture("d001_allowed.rs");
+    assert_eq!(active(&ok, "D001"), 0, "{ok:?}");
+    assert!(suppressed(&ok, "D001") >= 3, "suppressions are recorded: {ok:?}");
+}
+
+#[test]
+fn d002_fires_and_is_suppressible() {
+    let bad = lint_fixture("d002_bad.rs");
+    assert!(active(&bad, "D002") >= 2, "thread_rng + from_entropy: {bad:?}");
+    let ok = lint_fixture("d002_allowed.rs");
+    assert_eq!(active(&ok, "D002"), 0, "{ok:?}");
+    assert_eq!(suppressed(&ok, "D002"), 1);
+}
+
+#[test]
+fn d002_is_waived_in_the_bench_crate() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/d002_bad.rs");
+    let source = std::fs::read_to_string(path).expect("fixture readable");
+    let findings = lint_source("crates/bench/src/d002_bad.rs", &source);
+    assert_eq!(active(&findings, "D002"), 0, "bench may use ambient randomness");
+}
+
+#[test]
+fn d003_fires_and_is_suppressible() {
+    let bad = lint_fixture("d003_bad.rs");
+    assert!(active(&bad, "D003") >= 2, "Instant + SystemTime: {bad:?}");
+    let ok = lint_fixture("d003_allowed.rs");
+    assert_eq!(active(&ok, "D003"), 0, "allow + cfg(test) carve-out: {ok:?}");
+    assert_eq!(suppressed(&ok, "D003"), 1);
+}
+
+#[test]
+fn m001_fires_and_is_suppressible() {
+    let bad = lint_fixture("m001_bad.rs");
+    assert!(active(&bad, "M001") >= 1, "Mutex in a NodeProgram file: {bad:?}");
+    let ok = lint_fixture("m001_allowed.rs");
+    assert_eq!(active(&ok, "M001"), 0, "{ok:?}");
+    assert!(suppressed(&ok, "M001") >= 1);
+}
+
+#[test]
+fn p001_fires_and_is_suppressible() {
+    let bad = lint_fixture("p001_bad.rs");
+    assert!(active(&bad, "P001") >= 3, "unwrap + panic! + todo!: {bad:?}");
+    let ok = lint_fixture("p001_allowed.rs");
+    assert_eq!(active(&ok, "P001"), 0, "expect/Result/assert/allow all pass: {ok:?}");
+    assert_eq!(suppressed(&ok, "P001"), 1);
+}
+
+#[test]
+fn u001_fires_and_is_suppressible() {
+    let bad = lint_fixture("u001_bad.rs");
+    assert_eq!(active(&bad, "U001"), 1, "{bad:?}");
+    let ok = lint_fixture("u001_allowed.rs");
+    assert_eq!(active(&ok, "U001"), 0, "{ok:?}");
+    assert_eq!(suppressed(&ok, "U001"), 1);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let findings = lint_fixture("clean.rs");
+    assert!(findings.is_empty(), "known-good fixture must be silent: {findings:?}");
+}
+
+#[test]
+fn allow_without_reason_is_rejected() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lcg-lint: allow(P001)\n";
+    let findings = lint_source("crates/graph/src/inline.rs", src);
+    assert_eq!(active(&findings, "P001"), 1, "unjustified allow must not suppress");
+    assert_eq!(active(&findings, "A000"), 1, "and is itself a finding");
+}
+
+#[test]
+fn every_rule_has_bad_and_allowed_fixtures() {
+    // keeps the fixture set in sync with the rule table as rules are added
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for rule in lcg_lint::RULES.iter().filter(|r| r.id != "A000") {
+        let stem = rule.id.to_lowercase();
+        for suffix in ["bad", "allowed"] {
+            let path = dir.join(format!("{stem}_{suffix}.rs"));
+            assert!(path.is_file(), "missing fixture {path:?} for rule {}", rule.id);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The acceptance gate: the deterministic crates (`congest`, `expander`,
+//! `graph`, `solvers`, `core`) — plus the umbrella `src/` — are lint-clean
+//! against an **empty** baseline. Every historical violation is either
+//! fixed or carries a justified inline allow; anything new fails this test
+//! (and the CI `lcg-lint` job) immediately.
+
+use std::path::Path;
+
+use lcg_lint::{find_workspace_root, lint_workspace, Baseline};
+
+fn root() -> std::path::PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lcg-lint lives inside the workspace")
+}
+
+#[test]
+fn deterministic_crates_are_clean_with_empty_baseline() {
+    let restrict: Vec<String> = ["congest", "expander", "graph", "solvers", "core"]
+        .iter()
+        .map(|c| format!("crates/{c}/"))
+        .chain(std::iter::once("src/".to_string()))
+        .collect();
+    let (findings, scanned) = lint_workspace(&root(), &restrict).expect("scan succeeds");
+    assert!(scanned > 20, "expected to scan the five deterministic crates, got {scanned} files");
+    let fresh = Baseline::default().new_findings(&findings);
+    assert!(
+        fresh.is_empty(),
+        "deterministic crates must be lint-clean with an empty baseline:\n{}",
+        fresh
+            .iter()
+            .map(|f| format!("  [{}] {}:{}:{} {}", f.rule, f.file, f.line, f.col, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn whole_workspace_is_clean_with_shipped_baseline() {
+    let root = root();
+    let text = std::fs::read_to_string(root.join("lcg-lint.baseline.json"))
+        .expect("shipped baseline exists at the workspace root");
+    let baseline = Baseline::parse(&text).expect("shipped baseline parses");
+    let (findings, _) = lint_workspace(&root, &[]).expect("scan succeeds");
+    let fresh = baseline.new_findings(&findings);
+    assert!(
+        fresh.is_empty(),
+        "workspace has findings above the shipped baseline:\n{}",
+        fresh
+            .iter()
+            .map(|f| format!("  [{}] {}:{}:{} {}", f.rule, f.file, f.line, f.col, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        baseline.stale_entries(&findings).is_empty(),
+        "shipped baseline is stale; regenerate with --write-baseline"
+    );
+}
+
+#[test]
+fn every_inline_allow_carries_a_reason() {
+    // `allowed` findings always have Some(reason) by construction; this
+    // asserts the tree-wide A000 count is zero so no ignored allows linger.
+    let (findings, _) = lint_workspace(&root(), &[]).expect("scan succeeds");
+    let unjustified: Vec<_> = findings.iter().filter(|f| f.rule == "A000").collect();
+    assert!(unjustified.is_empty(), "{unjustified:?}");
+}

@@ -36,7 +36,7 @@ pub fn greedy_mis(g: &Graph) -> Vec<usize> {
         let v = (0..n)
             .filter(|&v| active[v])
             .min_by_key(|&v| deg[v])
-            .unwrap();
+            .expect("remaining > 0 guarantees an active vertex");
         picked.push(v);
         // remove N[v]
         let mut to_remove = vec![v];
@@ -223,7 +223,10 @@ impl<'a> Solver<'a> {
         } else if self.current.len() + self.upper_bound() > self.best.len() {
             // max degree >= 2 here; if max degree == 2 the graph is a union
             // of cycles: solve directly
-            let v = *remaining.iter().max_by_key(|&&v| self.deg[v]).unwrap();
+            let v = *remaining
+                .iter()
+                .max_by_key(|&&v| self.deg[v])
+                .expect("branch taken only while vertices remain");
             if self.deg[v] == 2 {
                 let extra = self.solve_cycles(&remaining);
                 if self.current.len() + extra.len() > self.best.len() {

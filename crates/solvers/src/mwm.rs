@@ -178,7 +178,7 @@ impl Mwm {
         if b < self.n {
             out.push(b);
         } else {
-            for &t in self.blossomchilds[b].as_ref().unwrap() {
+            for &t in self.blossomchilds[b].as_ref().expect("composite blossom has children") {
                 if t < self.n {
                     out.push(t);
                 } else {
@@ -350,7 +350,7 @@ impl Mwm {
     }
 
     fn expand_blossom(&mut self, b: usize, endstage: bool) {
-        let childs = self.blossomchilds[b].clone().unwrap();
+        let childs = self.blossomchilds[b].clone().expect("composite blossom has children");
         for &s in &childs {
             self.blossomparent[s] = NONE;
             if s < self.n {
@@ -366,10 +366,13 @@ impl Mwm {
         if !endstage && self.label[b] == 2 {
             debug_assert!(self.labelend[b] >= 0);
             let entrychild = self.inblossom[self.endpoint[(self.labelend[b] as usize) ^ 1]];
-            let childs = self.blossomchilds[b].clone().unwrap();
-            let endps = self.blossomendps[b].clone().unwrap();
+            let childs = self.blossomchilds[b].clone().expect("composite blossom has children");
+            let endps = self.blossomendps[b].clone().expect("composite blossom has endpoints");
             let len = childs.len() as i64;
-            let mut j = childs.iter().position(|&c| c == entrychild).unwrap() as i64;
+            let mut j = childs
+                .iter()
+                .position(|&c| c == entrychild)
+                .expect("entry child is among blossom children") as i64;
             let (jstep, endptrick): (i64, usize) = if j & 1 != 0 {
                 j -= len;
                 (1, 0)
@@ -444,10 +447,13 @@ impl Mwm {
         if t >= self.n {
             self.augment_blossom(t, v);
         }
-        let childs = self.blossomchilds[b].clone().unwrap();
-        let endps = self.blossomendps[b].clone().unwrap();
+        let childs = self.blossomchilds[b].clone().expect("composite blossom has children");
+        let endps = self.blossomendps[b].clone().expect("composite blossom has endpoints");
         let len = childs.len() as i64;
-        let i = childs.iter().position(|&c| c == t).unwrap();
+        let i = childs
+            .iter()
+            .position(|&c| c == t)
+            .expect("t is a child of blossom b");
         let mut j = i as i64;
         let (jstep, endptrick): (i64, usize) = if j & 1 != 0 {
             j -= len;
@@ -592,7 +598,7 @@ impl Mwm {
                 // dual update
                 // type 1: minimum vertex dual (maxcardinality = false)
                 let mut deltatype = 1i32;
-                let mut delta = *self.dualvar[..self.n].iter().min().unwrap();
+                let mut delta = *self.dualvar[..self.n].iter().min().expect("n > 0: dual variables exist");
                 let mut deltaedge = NONE;
                 let mut deltablossom = NONE;
                 // type 2: free-vertex best edges
@@ -635,7 +641,7 @@ impl Mwm {
                 }
                 if deltatype == -1 {
                     deltatype = 1;
-                    delta = self.dualvar[..self.n].iter().min().unwrap().max(&0).to_owned();
+                    delta = self.dualvar[..self.n].iter().min().expect("n > 0: dual variables exist").max(&0).to_owned();
                 }
                 // apply delta
                 for v in 0..self.n {

@@ -45,7 +45,10 @@ pub fn star_elimination(g: &Graph) -> StarElimination {
         let mut pendant_of: Vec<Vec<usize>> = vec![Vec::new(); n];
         for v in 0..n {
             if kept[v] && deg(v, &kept) == 1 {
-                let c = g.neighbor_vertices(v).find(|&u| kept[u]).unwrap();
+                let c = g
+                    .neighbor_vertices(v)
+                    .find(|&u| kept[u])
+                    .expect("degree-1 vertex has a kept neighbor");
                 pendant_of[c].push(v);
             }
         }
@@ -59,9 +62,11 @@ pub fn star_elimination(g: &Graph) -> StarElimination {
             }
         }
         // 3-double-stars: each pair {x, y} keeps at most two common
-        // degree-2 neighbors
-        let mut by_pair: std::collections::HashMap<(usize, usize), Vec<usize>> =
-            std::collections::HashMap::new();
+        // degree-2 neighbors. BTreeMap, not HashMap: the per-pair Vec order
+        // decides *which* two neighbors survive, and map iteration order
+        // must not leak into `kept` (D001).
+        let mut by_pair: std::collections::BTreeMap<(usize, usize), Vec<usize>> =
+            std::collections::BTreeMap::new();
         for v in 0..n {
             if !kept[v] {
                 continue;
@@ -97,9 +102,9 @@ pub fn star_elimination(g: &Graph) -> StarElimination {
 pub fn is_star_free(g: &Graph, kept: &[bool]) -> bool {
     let n = g.n();
     let deg = |v: usize| -> usize { g.neighbor_vertices(v).filter(|&u| kept[u]).count() };
-    let mut pendants: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
-    let mut pairs: std::collections::HashMap<(usize, usize), usize> =
-        std::collections::HashMap::new();
+    let mut pendants: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    let mut pairs: std::collections::BTreeMap<(usize, usize), usize> =
+        std::collections::BTreeMap::new();
     for v in 0..n {
         if !kept[v] {
             continue;
@@ -109,7 +114,10 @@ pub fn is_star_free(g: &Graph, kept: &[bool]) -> bool {
             return false;
         }
         if d == 1 {
-            let c = g.neighbor_vertices(v).find(|&u| kept[u]).unwrap();
+            let c = g
+                .neighbor_vertices(v)
+                .find(|&u| kept[u])
+                .expect("degree-1 vertex has a kept neighbor");
             let e = pendants.entry(c).or_insert(0);
             *e += 1;
             if *e >= 2 {

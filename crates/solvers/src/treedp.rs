@@ -119,7 +119,7 @@ pub fn min_degree_decomposition(g: &Graph, max_width: usize) -> Option<TreeDecom
         let v = (0..n)
             .filter(|&v| !eliminated[v])
             .min_by_key(|&v| (adj[v].len(), v))
-            .unwrap();
+            .expect("n iterations eliminate exactly n vertices");
         let nb: Vec<usize> = adj[v].iter().copied().collect();
         if nb.len() > max_width {
             return None;

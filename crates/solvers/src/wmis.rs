@@ -37,9 +37,9 @@ pub fn greedy_weighted_mis(g: &Graph, weights: &[u64]) -> Vec<usize> {
             .max_by(|&a, &b| {
                 let ra = weights[a] as f64 / (deg[a] + 1) as f64;
                 let rb = weights[b] as f64 / (deg[b] + 1) as f64;
-                ra.partial_cmp(&rb).unwrap()
+                ra.partial_cmp(&rb).expect("weight/degree ratios are finite")
             })
-            .unwrap();
+            .expect("greedy loop runs only while vertices are active");
         picked.push(v);
         let mut kill = vec![v];
         kill.extend(g.neighbor_vertices(v).filter(|&u| active[u]));
@@ -145,7 +145,10 @@ impl<'a> Solver<'a> {
 
     fn undo(&mut self, removed: Vec<usize>, took: bool) {
         if took {
-            let v = *self.current.last().unwrap();
+            let v = *self
+                .current
+                .last()
+                .expect("took implies a vertex was pushed");
             self.current.pop();
             self.current_w -= self.w[v];
         }
