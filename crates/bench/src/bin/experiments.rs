@@ -5,42 +5,81 @@
 //! experiments e4 e9 --quick      # selected experiments, CI scale
 //! experiments all --json out/    # also dump JSON per table
 //! experiments e18 --threads 8    # simulator on 8 worker threads
+//! experiments --trace run.jsonl  # traced framework run -> JSONL + report
 //! ```
 //!
 //! `--threads N` (equivalently the `LCG_THREADS` environment variable)
 //! selects the round engine's worker-thread count. It only changes
 //! wall-clock: every experiment's numbers are bit-identical for every
 //! thread count, by the engine's determinism guarantee.
+//!
+//! `--trace PATH` runs the Theorem 2.6 framework with full tracing (phase
+//! spans, per-round series, congestion hotspots), writes the JSONL trace to
+//! PATH, and prints the rendered report to stderr. With no experiments
+//! selected, only the traced run executes. `--trace-top-k N` sets how many
+//! hotspot edges the trace keeps (default 10). The trace records logical
+//! rounds only, so it too is bit-identical for every thread count.
 
 use std::io::Write;
 
 use lcg_bench::{experiments, Scale};
 
+const USAGE: &str = "\
+usage: experiments [IDS...] [OPTIONS]
+
+  IDS                 experiment ids (e1, e2, ...) or `all`; default: all
+  --quick             CI scale (smaller graphs, same tables)
+  --json DIR          also dump each table as DIR/<id>.json
+  --threads N         round-engine worker threads (same numbers at any N)
+  --trace PATH        write a traced framework run's JSONL trace to PATH
+                      and print the report to stderr; with no IDS, run
+                      only the traced run
+  --trace-top-k N     hotspot edges kept in the trace (default 10)
+  -h, --help          print this help";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{USAGE}");
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
-    let json_dir = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let threads = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let json_dir = flag_value("--json");
+    let threads = flag_value("--threads");
+    let trace_path = flag_value("--trace");
+    let trace_top_k: usize = flag_value("--trace-top-k")
+        .map(|v| v.parse().expect("--trace-top-k expects a number"))
+        .unwrap_or(10);
     if let Some(t) = &threads {
         // ExecConfig::from_env reads this everywhere a Network is built
         std::env::set_var("LCG_THREADS", t);
     }
     let scale = if quick { Scale::Quick } else { Scale::Full };
+    let flags_with_value = ["--json", "--threads", "--trace", "--trace-top-k"];
     let selected: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .filter(|a| json_dir.as_deref() != Some(a.as_str()))
-        .filter(|a| threads.as_deref() != Some(a.as_str()))
-        .cloned()
+        .enumerate()
+        .filter(|(_, a)| !a.starts_with("--"))
+        .filter(|(i, _)| {
+            // skip values consumed by the flag immediately before them
+            *i == 0 || !flags_with_value.contains(&args[i - 1].as_str())
+        })
+        .map(|(_, a)| a.clone())
         .collect();
+
+    if let Some(path) = &trace_path {
+        run_traced(path, trace_top_k, scale);
+        if selected.is_empty() {
+            return;
+        }
+    }
+
     let registry = experiments::all();
     let run_all = selected.is_empty() || selected.iter().any(|s| s == "all");
     let mut ran = 0;
@@ -67,4 +106,27 @@ fn main() {
         eprintln!("no experiment matched; available: e1..e12, all");
         std::process::exit(2);
     }
+}
+
+/// One fully traced framework run on a planar instance, sized by `scale`.
+fn run_traced(path: &str, top_k: usize, scale: Scale) {
+    use lcg_core::framework::{run_framework, FrameworkConfig};
+    use lcg_graph::gen;
+
+    let n = match scale {
+        Scale::Quick => 200,
+        Scale::Full => 2_000,
+    };
+    eprintln!(">>> running traced framework (n={n}, top-k {top_k})...");
+    let mut rng = gen::seeded_rng(42);
+    let g = gen::random_planar(n, 0.5, &mut rng);
+    let cfg = FrameworkConfig {
+        trace: true,
+        trace_top_k: top_k,
+        ..FrameworkConfig::planar(0.3, 42)
+    };
+    let out = run_framework(&g, &cfg);
+    std::fs::write(path, out.trace.to_jsonl()).expect("write trace file");
+    eprintln!("{}", lcg_trace::report::render(&out.trace));
+    eprintln!("<<< trace written to {path}\n");
 }

@@ -35,6 +35,7 @@
 //!   [`Network::par_step`] is the stateless variant.
 
 use lcg_graph::Graph;
+use lcg_trace::{SpanId, Tracer};
 
 use crate::exec::ExecConfig;
 use crate::model::Model;
@@ -95,6 +96,13 @@ pub struct Network<'g> {
     pending: Vec<Vec<Option<Message>>>,
     /// `reverse[v][p] = (u, q)`: port `p` of `v` is port `q` of neighbor `u`.
     reverse: Vec<Vec<(usize, usize)>>,
+    /// Opt-in trace recorder ([`Network::attach_tracer`]). `None` (the
+    /// default) keeps every hot-path hook a skipped branch — no recording,
+    /// no allocation.
+    tracer: Option<Tracer>,
+    /// `edge_of[v][p]`: host edge id behind port `p` of `v`. Built only
+    /// when an attached tracer records per-edge loads; empty otherwise.
+    edge_of: Vec<Vec<usize>>,
 }
 
 /// Per-vertex outbox handed to the step closure.
@@ -304,6 +312,8 @@ impl<'g> Network<'g> {
             stats: RoundStats::default(),
             pending,
             reverse,
+            tracer: None,
+            edge_of: Vec::new(),
         }
     }
 
@@ -338,19 +348,80 @@ impl<'g> Network<'g> {
         std::mem::take(&mut self.stats)
     }
 
+    /// Attaches a trace recorder: binds it to this network's topology and
+    /// routes every subsequent round, charge, and (if enabled) per-edge
+    /// word through it. Replaces any previously attached tracer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcg_congest::{Model, Network};
+    /// use lcg_trace::{TraceConfig, Tracer};
+    ///
+    /// let g = lcg_graph::gen::cycle(4);
+    /// let mut net = Network::new(&g, Model::congest());
+    /// net.attach_tracer(Tracer::new(TraceConfig::full("demo")));
+    /// let sp = net.span_open("ping");
+    /// net.step(|_, _, out| out.send(0, vec![1]));
+    /// net.span_close(sp);
+    /// let trace = net.take_tracer().expect("tracer was attached").finish();
+    /// assert_eq!(trace.span_rounds("ping"), 1);
+    /// assert_eq!(trace.total.messages, net.stats().messages);
+    /// ```
+    pub fn attach_tracer(&mut self, mut tracer: Tracer) {
+        let ends: Vec<(usize, usize)> = self.g.edges().map(|(_, u, v)| (u, v)).collect();
+        tracer.bind_topology(self.g.n(), self.g.m(), ends);
+        if tracer.records_edge_loads() && self.edge_of.is_empty() {
+            self.edge_of = (0..self.g.n())
+                .map(|v| self.g.neighbors(v).map(|(_, e)| e).collect())
+                .collect();
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches and returns the tracer (finish it to obtain the trace).
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
+    /// The attached tracer, if any (e.g. to annotate the current span).
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_mut()
+    }
+
+    /// Opens a span on the attached tracer; `None` when untraced, so call
+    /// sites need no tracing-enabled branch of their own.
+    pub fn span_open(&mut self, name: &str) -> Option<SpanId> {
+        self.tracer.as_mut().map(|t| t.open_span(name))
+    }
+
+    /// Closes a span previously opened with [`Network::span_open`].
+    pub fn span_close(&mut self, id: Option<SpanId>) {
+        if let (Some(t), Some(id)) = (self.tracer.as_mut(), id) {
+            t.close_span(id);
+        }
+    }
+
     /// Fresh (empty) per-vertex port buffers.
     fn fresh_buffers(&self) -> Vec<Vec<Option<Message>>> {
         (0..self.g.n()).map(|v| vec![None; self.g.degree(v)]).collect()
     }
 
     /// Delivers composed outboxes into `pending` by a vertex-order sweep.
-    /// Pure moves — all counting already happened at the compose barrier.
+    /// Pure moves — all counting already happened at the compose barrier —
+    /// except per-edge load tallies when a tracer asked for them (the sweep
+    /// is vertex-ordered, hence deterministic).
     fn deliver(&mut self, outgoing: &mut [Vec<Option<Message>>]) {
+        let Network { pending, reverse, tracer, edge_of, .. } = self;
+        let mut track = tracer.as_mut().filter(|t| t.records_edge_loads());
         for (v, out_v) in outgoing.iter_mut().enumerate() {
             for (p, slot) in out_v.iter_mut().enumerate() {
                 if let Some(msg) = slot.take() {
-                    let (u, q) = self.reverse[v][p];
-                    self.pending[u][q] = Some(msg);
+                    if let Some(t) = track.as_mut() {
+                        t.add_edge_words(edge_of[v][p], msg.len() as u64);
+                    }
+                    let (u, q) = reverse[v][p];
+                    pending[u][q] = Some(msg);
                 }
             }
         }
@@ -362,6 +433,9 @@ impl<'g> Network<'g> {
         self.stats.words += counters.words;
         self.stats.max_words_edge_round = self.stats.max_words_edge_round.max(counters.max_words);
         self.stats.rounds += 1;
+        if let Some(t) = self.tracer.as_mut() {
+            t.record_round(counters.messages, counters.words, counters.max_words);
+        }
     }
 
     /// Executes one synchronous round.
@@ -551,13 +625,19 @@ impl<'g> Network<'g> {
     }
 
     /// Moves exchange outboxes to receiver-side inboxes (vertex order;
-    /// pure moves, no counting).
+    /// pure moves, no counting — except per-edge load tallies when a
+    /// tracer asked for them).
     fn route_exchange(&mut self, outgoing: &mut [Vec<Option<Message>>]) -> Vec<Vec<Option<Message>>> {
         let mut inboxes = self.fresh_buffers();
+        let Network { reverse, tracer, edge_of, .. } = self;
+        let mut track = tracer.as_mut().filter(|t| t.records_edge_loads());
         for (v, out_v) in outgoing.iter_mut().enumerate() {
             for (p, slot) in out_v.iter_mut().enumerate() {
                 if let Some(msg) = slot.take() {
-                    let (u, q) = self.reverse[v][p];
+                    if let Some(t) = track.as_mut() {
+                        t.add_edge_words(edge_of[v][p], msg.len() as u64);
+                    }
+                    let (u, q) = reverse[v][p];
                     inboxes[u][q] = Some(msg);
                 }
             }
@@ -570,6 +650,9 @@ impl<'g> Network<'g> {
     /// their aggregate must be attributed to the main execution).
     pub fn charge_stats(&mut self, s: &RoundStats) {
         self.stats.merge(s);
+        if let Some(t) = self.tracer.as_mut() {
+            t.record_external(s.rounds, s.messages, s.words, s.max_words_edge_round);
+        }
     }
 
     /// Charges `rounds` silent rounds (no messages) to the statistics.
@@ -579,6 +662,9 @@ impl<'g> Network<'g> {
     /// without any traffic in the simulation shortcut.
     pub fn charge_rounds(&mut self, rounds: u64) {
         self.stats.rounds += rounds;
+        if let Some(t) = self.tracer.as_mut() {
+            t.record_quiet_rounds(rounds);
+        }
     }
 
     /// Neighbor vertex on `port` of `v`.
@@ -797,6 +883,89 @@ mod tests {
         net.charge_rounds(17);
         assert_eq!(net.stats().rounds, 17);
         assert_eq!(net.stats().messages, 0);
+    }
+
+    #[test]
+    fn tracer_mirrors_stats_across_all_charge_paths() {
+        let g = gen::grid(4, 4);
+        let mut net = Network::new(&g, Model::congest());
+        net.attach_tracer(lcg_trace::Tracer::new(lcg_trace::TraceConfig::full("t")));
+        let sp = net.span_open("phase");
+        net.par_step(|_, _, out| {
+            for p in 0..out.ports() {
+                out.send(p, vec![1, 2]);
+            }
+        });
+        net.charge_rounds(7);
+        net.charge_stats(&RoundStats { rounds: 2, messages: 5, words: 9, max_words_edge_round: 3 });
+        net.span_close(sp);
+        let trace = net.take_tracer().expect("tracer attached").finish();
+        let s = net.stats();
+        assert_eq!(trace.total.rounds, s.rounds);
+        assert_eq!(trace.total.messages, s.messages);
+        assert_eq!(trace.total.words, s.words);
+        assert_eq!(trace.total.max_words_edge_round, s.max_words_edge_round);
+        // the single span saw everything
+        assert_eq!(trace.span_rounds("phase"), s.rounds);
+        // exactly one executed round was sampled; charged rounds are quiet
+        assert_eq!(trace.series.len(), 1);
+    }
+
+    #[test]
+    fn tracer_records_per_edge_loads_on_both_delivery_paths() {
+        let g = gen::path(3); // edges: 0 = {0,1}, 1 = {1,2}
+        let mut net = Network::new(&g, Model::congest());
+        net.attach_tracer(lcg_trace::Tracer::new(lcg_trace::TraceConfig::full("t")));
+        // step path: vertex 0 sends 2 words to vertex 1
+        net.step(|v, _, out| {
+            if v == 0 {
+                out.send(0, vec![1, 2]);
+            }
+        });
+        net.step(|_, _, _| {}); // drain the pending delivery
+        // exchange path: vertex 2 sends 1 word to vertex 1
+        net.exchange(
+            |v, out| {
+                if v == 2 {
+                    out.send(0, vec![9]);
+                }
+            },
+            |_, _| {},
+        );
+        let trace = net.take_tracer().expect("tracer attached").finish();
+        assert_eq!(trace.hotspots.len(), 2);
+        assert_eq!((trace.hotspots[0].edge, trace.hotspots[0].words), (0, 2));
+        assert_eq!((trace.hotspots[1].edge, trace.hotspots[1].words), (1, 1));
+        assert_eq!((trace.hotspots[0].u, trace.hotspots[0].v), (0, 1));
+    }
+
+    #[test]
+    fn tracing_does_not_change_stats() {
+        let g = gen::grid(5, 5);
+        let run = |traced: bool| {
+            let mut net = Network::new(&g, Model::congest());
+            if traced {
+                net.attach_tracer(lcg_trace::Tracer::new(lcg_trace::TraceConfig::full("t")));
+            }
+            net.par_run(3, |_, _, out| {
+                for p in 0..out.ports() {
+                    out.send(p, vec![4]);
+                }
+            });
+            net.stats()
+        };
+        stats::compare(&run(false), &run(true)).unwrap();
+    }
+
+    #[test]
+    fn untraced_network_span_helpers_are_noops() {
+        let g = gen::path(2);
+        let mut net = Network::new(&g, Model::congest());
+        let sp = net.span_open("nothing");
+        assert!(sp.is_none());
+        net.span_close(sp); // must not panic
+        assert!(net.take_tracer().is_none());
+        assert!(net.tracer_mut().is_none());
     }
 
     #[test]

@@ -130,6 +130,42 @@ mod tests {
         assert_eq!(a.max_words_edge_round, 4);
     }
 
+    /// `max_words_edge_round` is a *maximum over rounds*, not a flow: when
+    /// two phases each peaked at k words on some edge, the combined run
+    /// still peaked at k, not 2k. Summing it would inflate the CONGEST
+    /// bandwidth bound the counter exists to certify.
+    #[test]
+    fn merge_takes_max_not_sum_for_edge_peak() {
+        let mut a = RoundStats { rounds: 1, messages: 1, words: 3, max_words_edge_round: 3 };
+        let b = RoundStats { rounds: 1, messages: 1, words: 3, max_words_edge_round: 3 };
+        a.merge(&b);
+        assert_eq!(a.max_words_edge_round, 3, "equal peaks must not sum to 6");
+        a.merge(&RoundStats { max_words_edge_round: 5, ..RoundStats::default() });
+        assert_eq!(a.max_words_edge_round, 5);
+        a.merge(&RoundStats { max_words_edge_round: 2, ..RoundStats::default() });
+        assert_eq!(a.max_words_edge_round, 5, "smaller peak must not lower the max");
+    }
+
+    #[test]
+    fn compare_reports_all_four_fields() {
+        let a = RoundStats { rounds: 1, messages: 2, words: 3, max_words_edge_round: 4 };
+        let b = RoundStats { rounds: 9, messages: 8, words: 7, max_words_edge_round: 6 };
+        let err = compare(&a, &b).unwrap_err();
+        for field in ["rounds", "messages", "words", "max_words_edge_round"] {
+            assert!(err.contains(field), "diff is missing `{field}`: {err}");
+        }
+        // and each field diverging alone is caught
+        for d in [
+            RoundStats { rounds: 2, ..a },
+            RoundStats { messages: 3, ..a },
+            RoundStats { words: 4, ..a },
+            RoundStats { max_words_edge_round: 5, ..a },
+        ] {
+            assert!(compare(&a, &d).is_err());
+        }
+        assert!(compare(&a, &a).is_ok());
+    }
+
     #[test]
     fn display_is_nonempty() {
         let s = RoundStats::default().to_string();

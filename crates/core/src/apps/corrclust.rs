@@ -51,14 +51,8 @@ pub fn approx_correlation_clustering(
     // ε' = ε / 2, exactly as §3.3 (γ(G) ≥ |E|/2); the framework's own
     // density scaling is bypassed because the ε/2 charge is against |E|.
     let cfg = FrameworkConfig {
-        epsilon: (epsilon / 2.0).min(0.9),
         density_bound: 1.0,
-        seed,
-        max_walk_steps: 2_000_000,
-        deterministic_routing: false,
-        practical_phi: true,
-        message_faithful: false,
-        exec: lcg_congest::ExecConfig::from_env(),
+        ..FrameworkConfig::planar((epsilon / 2.0).min(0.9), seed)
     };
     let _ = density_bound; // class constant only affects round bounds
     let framework = run_framework(g, &cfg);

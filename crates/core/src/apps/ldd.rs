@@ -41,14 +41,8 @@ pub fn low_diameter_decomposition(
     assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x1DD);
     let cfg = FrameworkConfig {
-        epsilon: (epsilon / 2.0).min(0.9),
         density_bound: 1.0, // charge ε/2 against |E| directly, as §3.5
-        seed,
-        max_walk_steps: 2_000_000,
-        deterministic_routing: false,
-        practical_phi: true,
-        message_faithful: false,
-        exec: lcg_congest::ExecConfig::from_env(),
+        ..FrameworkConfig::planar((epsilon / 2.0).min(0.9), seed)
     };
     let _ = density_bound;
     let framework: FrameworkOutcome = run_framework(g, &cfg);

@@ -44,16 +44,10 @@ pub fn approx_maximum_independent_set(
     // ε' = ε / (2d + 1), exactly as §3.1
     let eps_prime = epsilon / (2.0 * density_bound + 1.0);
     let cfg = FrameworkConfig {
-        epsilon: eps_prime,
         // the framework divides by the density bound itself; we already
         // scaled, so pass t = 1 to use ε' as-is for the decomposition
         density_bound: 1.0,
-        seed,
-        max_walk_steps: 2_000_000,
-        deterministic_routing: false,
-        practical_phi: true,
-        message_faithful: false,
-        exec: lcg_congest::ExecConfig::from_env(),
+        ..FrameworkConfig::planar(eps_prime, seed)
     };
     let framework = run_framework(g, &cfg);
 

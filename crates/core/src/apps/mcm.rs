@@ -197,14 +197,8 @@ pub fn approx_maximum_matching(g: &Graph, epsilon: f64, seed: u64) -> McmOutcome
     // ε' = c·ε with c = 1/C31 so that ε'·n̄ ≤ ε·ν(kernel).
     let eps_prime = (epsilon / C31).min(0.9);
     let cfg = FrameworkConfig {
-        epsilon: eps_prime,
         density_bound: 1.0, // ε' already fully scaled
-        seed,
-        max_walk_steps: 2_000_000,
-        deterministic_routing: false,
-        practical_phi: true,
-        message_faithful: false,
-        exec: lcg_congest::ExecConfig::from_env(),
+        ..FrameworkConfig::planar(eps_prime, seed)
     };
     let framework = run_framework(&kernel, &cfg);
     stats.merge(&framework.stats);

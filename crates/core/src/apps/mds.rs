@@ -51,14 +51,8 @@ pub fn approx_minimum_dominating_set(
     // ε' = ε / (Δ + 1): |E^r| ≤ ε'·n ≤ ε·γ(G)
     let eps_prime = (epsilon / (delta + 1) as f64).min(0.9);
     let cfg = FrameworkConfig {
-        epsilon: eps_prime,
         density_bound: 1.0, // already fully scaled
-        seed,
-        max_walk_steps: 2_000_000,
-        deterministic_routing: false,
-        practical_phi: true,
-        message_faithful: false,
-        exec: lcg_congest::ExecConfig::from_env(),
+        ..FrameworkConfig::planar(eps_prime, seed)
     };
     let framework = run_framework(g, &cfg);
     let mut in_set = vec![false; g.n()];

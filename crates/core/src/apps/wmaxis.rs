@@ -53,14 +53,8 @@ pub fn approx_maximum_weight_independent_set(
     assert_eq!(weights.len(), g.n(), "one weight per vertex");
     let eps_prime = epsilon / (2.0 * density_bound + 1.0);
     let cfg = FrameworkConfig {
-        epsilon: eps_prime,
         density_bound: 1.0,
-        seed,
-        max_walk_steps: 2_000_000,
-        deterministic_routing: false,
-        practical_phi: true,
-        message_faithful: false,
-        exec: lcg_congest::ExecConfig::from_env(),
+        ..FrameworkConfig::planar(eps_prime, seed)
     };
     let framework = run_framework(g, &cfg);
     let mut in_set = vec![false; g.n()];

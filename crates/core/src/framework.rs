@@ -27,6 +27,7 @@ use lcg_congest::{ExecConfig, Model, Network, RoundStats};
 use lcg_expander::decomp::{self, ExpanderDecomposition};
 use lcg_expander::routing;
 use lcg_graph::Graph;
+use lcg_trace::{Trace, TraceConfig, Tracer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -60,6 +61,15 @@ pub struct FrameworkConfig {
     /// results — the engine is bit-deterministic for every thread count —
     /// only wall-clock. Defaults to [`ExecConfig::from_env`] (`LCG_THREADS`).
     pub exec: ExecConfig,
+    /// Record a **full** trace: per-round time series, per-edge load
+    /// histogram with hotspots, and per-cluster routing spans (see
+    /// `FrameworkOutcome::trace`). When `false` (the default) only the
+    /// phase spans are recorded — a handful of integer updates per round,
+    /// zero allocations — and the result's trace carries the span tree
+    /// but no series or hotspots. Never changes results or `stats`.
+    pub trace: bool,
+    /// Hotspot edges kept in the trace (ignored unless `trace`).
+    pub trace_top_k: usize,
 }
 
 impl FrameworkConfig {
@@ -74,6 +84,8 @@ impl FrameworkConfig {
             practical_phi: true,
             message_faithful: false,
             exec: ExecConfig::from_env(),
+            trace: false,
+            trace_top_k: 10,
         }
     }
 
@@ -112,8 +124,13 @@ pub struct FrameworkOutcome {
     pub clusters: Vec<ClusterRun>,
     /// Rounds/messages measured across all communicating phases.
     pub stats: RoundStats,
-    /// Phase breakdown of the rounds in `stats`.
+    /// Phase breakdown of the rounds in `stats`, derived from the span
+    /// tree in `trace` (the four top-level spans partition the run).
     pub phases: PhaseRounds,
+    /// The round trace: phase spans always; per-round series, per-cluster
+    /// routing spans, and congestion hotspots when `FrameworkConfig::trace`
+    /// was set. Export with `Trace::to_jsonl`.
+    pub trace: Trace,
     /// `true`: the decomposition construction itself was computed by the
     /// substituted sequential reference (its Θ(ε^{-O(1)} log^{O(1)} n)
     /// rounds are *not* included in `stats`); all other phases are.
@@ -121,7 +138,7 @@ pub struct FrameworkOutcome {
 }
 
 /// Round counts per framework phase.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseRounds {
     /// Leader election (max-degree flood).
     pub election: u64,
@@ -164,11 +181,17 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
     };
 
     let mut net = Network::with_exec(g, Model::congest(), cfg.exec);
+    // The tracer is always attached: spans are how PhaseRounds is
+    // measured. Series/edge-load recording is the opt-in part.
+    net.attach_tracer(Tracer::new(if cfg.trace {
+        TraceConfig::full("framework").with_top_k(cfg.trace_top_k)
+    } else {
+        TraceConfig::spans_only("framework")
+    }));
     let cluster_of = decomposition.cluster_of.clone();
 
     // Phase 2: leader election. b = max cluster diameter (each G[V_i] has
     // diameter O(φ^{-1} log n); we use the measured bound).
-    let mut phases = PhaseRounds::default();
     let members_by_cluster = primitives::cluster_members(&cluster_of);
     let mut diam_bound = 0usize;
     let mut subs: Vec<(usize, Graph, Vec<usize>)> = Vec::new();
@@ -187,16 +210,16 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
             })
             .collect()
     };
-    let t0 = net.stats().rounds;
+    let sp = net.span_open("election");
     let elected = primitives::max_flood(&mut net, &degrees, diam_bound, Scope::Intra(&cluster_of));
-    phases.election = net.stats().rounds - t0;
+    net.span_close(sp);
 
     // Phase 3: distributed orientation (so each vertex ships O(1) edges).
-    let t0 = net.stats().rounds;
+    let sp = net.span_open("orientation");
     let max_layers = 4 * ((g.n().max(2) as f64).log2().ceil() as usize) + 8;
     let layer =
         primitives::h_partition_distributed(&mut net, cfg.density_bound, 1.0, max_layers, Scope::Intra(&cluster_of));
-    phases.orientation = net.stats().rounds - t0;
+    net.span_close(sp);
     // out-edges: lower layer -> higher layer (ties by id), intra-cluster
     let out_deg: Vec<usize> = (0..g.n())
         .map(|v| {
@@ -217,6 +240,7 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
     let mut gather_rounds = 0u64;
     let mut broadcast_rounds = 0u64;
     let mut faithful_traffic = RoundStats::default();
+    let sp_gather = net.span_open("gathering");
     for (cid, sub, mapping) in subs {
         let leader = mapping
             .iter()
@@ -240,6 +264,11 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
             // run this cluster's routing on its own network (clusters run
             // in parallel; rounds take the max, traffic sums)
             let mut cluster_net = Network::with_exec(g, Model::congest(), cfg.exec);
+            if cfg.trace {
+                // the cluster net shares the host graph, so its per-edge
+                // loads merge 1:1 into the main tracer's table
+                cluster_net.attach_tracer(Tracer::new(TraceConfig::hotspots_only("cluster")));
+            }
             let (outcome, rstats) = routing::network_walk_routing_with_counts(
                 &mut cluster_net,
                 &mapping,
@@ -248,10 +277,33 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
                 cfg.max_walk_steps,
                 &mut rng,
             );
+            if let Some(cluster_tracer) = cluster_net.take_tracer() {
+                if let Some(t) = net.tracer_mut() {
+                    t.merge_edge_words_from(&cluster_tracer);
+                }
+            }
             faithful_traffic.messages += rstats.messages;
             faithful_traffic.words += rstats.words;
             faithful_traffic.max_words_edge_round =
                 faithful_traffic.max_words_edge_round.max(rstats.max_words_edge_round);
+            outcome
+        } else if cfg.trace {
+            // identical walk (same single rng draw, same trajectory) that
+            // additionally reports host-edge loads for the hotspot table
+            let (outcome, loads) = routing::random_walk_routing_with_counts_traced(
+                g,
+                &mapping,
+                leader,
+                &counts,
+                cfg.max_walk_steps,
+                &mut rng,
+                cfg.exec,
+            );
+            if let Some(t) = net.tracer_mut() {
+                for (e, w) in loads {
+                    t.add_edge_words(e, w);
+                }
+            }
             outcome
         } else {
             routing::random_walk_routing_with_counts_exec(
@@ -267,6 +319,20 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
         gather_rounds = gather_rounds.max(routing_outcome.rounds);
         // broadcast = reversed routing (same cost, as in the paper)
         broadcast_rounds = broadcast_rounds.max(routing_outcome.rounds);
+        if cfg.trace {
+            // zero-round child span carrying this cluster's routing budget
+            // (rounds are charged once after the loop, as the max)
+            let csp = net.span_open("cluster");
+            if let (Some(id), Some(t)) = (csp, net.tracer_mut()) {
+                t.annotate(id, "cluster", cid as u64);
+                t.annotate(id, "members", mapping.len() as u64);
+                t.annotate(id, "rounds", routing_outcome.rounds);
+                t.annotate(id, "steps", routing_outcome.steps as u64);
+                t.annotate(id, "max_edge_load", routing_outcome.max_edge_load as u64);
+                t.annotate(id, "delivered", routing_outcome.delivered as u64);
+            }
+            net.span_close(csp);
+        }
         clusters.push(ClusterRun {
             id: cid,
             members: mapping.clone(),
@@ -276,9 +342,7 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
             routing: routing_outcome,
         });
     }
-    phases.gathering = gather_rounds;
-    phases.broadcast = broadcast_rounds;
-    net.charge_rounds(gather_rounds + broadcast_rounds);
+    net.charge_rounds(gather_rounds);
     if cfg.message_faithful {
         // the per-cluster networks' traffic (rounds already accounted as
         // the max, charged above)
@@ -287,13 +351,36 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
             ..faithful_traffic
         });
     }
+    net.span_close(sp_gather);
+
+    let sp = net.span_open("broadcast");
+    net.charge_rounds(broadcast_rounds);
+    net.span_close(sp);
 
     let stats = net.stats();
+    let trace = net
+        .take_tracer()
+        .expect("tracer attached at run start")
+        .finish();
+    // PhaseRounds is derived from the span tree: the four top-level spans
+    // partition the run, so their round counts must sum to stats.rounds.
+    let phases = PhaseRounds {
+        election: trace.span_rounds("election"),
+        orientation: trace.span_rounds("orientation"),
+        gathering: trace.span_rounds("gathering"),
+        broadcast: trace.span_rounds("broadcast"),
+    };
+    debug_assert_eq!(
+        phases.election + phases.orientation + phases.gathering + phases.broadcast,
+        stats.rounds,
+        "phase spans must partition the run's rounds"
+    );
     FrameworkOutcome {
         decomposition,
         clusters,
         stats,
         phases,
+        trace,
         construction_substituted: true,
     }
 }
@@ -384,5 +471,105 @@ mod tests {
     fn rejects_bad_epsilon() {
         let g = gen::path(4);
         run_framework(&g, &FrameworkConfig::planar(1.5, 0));
+    }
+
+    /// `phases` is no longer counted separately — it is read off the span
+    /// tree — so the two views must agree by construction, and the four
+    /// top-level spans must partition every charged round.
+    #[test]
+    fn phases_match_trace_spans() {
+        let g = gen::grid(12, 8);
+        let out = run_framework(&g, &FrameworkConfig::planar(0.3, 4));
+        let p = out.phases;
+        assert_eq!(out.trace.span_rounds("election"), p.election);
+        assert_eq!(out.trace.span_rounds("orientation"), p.orientation);
+        assert_eq!(out.trace.span_rounds("gathering"), p.gathering);
+        assert_eq!(out.trace.span_rounds("broadcast"), p.broadcast);
+        assert_eq!(
+            out.trace.total.rounds,
+            p.election + p.orientation + p.gathering + p.broadcast
+        );
+        assert_eq!(out.trace.total.rounds, out.stats.rounds);
+    }
+
+    #[test]
+    fn traced_run_is_complete_and_changes_nothing() {
+        let mut rng = gen::seeded_rng(214);
+        let g = gen::random_planar(90, 0.5, &mut rng);
+        let plain = run_framework(&g, &FrameworkConfig::planar(0.3, 9));
+        let traced = run_framework(
+            &g,
+            &FrameworkConfig {
+                trace: true,
+                trace_top_k: 5,
+                ..FrameworkConfig::planar(0.3, 9)
+            },
+        );
+        // tracing is observation only: identical stats, phases, clustering
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(plain.phases, traced.phases);
+        assert_eq!(
+            plain.decomposition.cluster_of,
+            traced.decomposition.cluster_of
+        );
+
+        // the span tree covers all four named phases...
+        for name in ["election", "orientation", "gathering", "broadcast"] {
+            assert!(traced.trace.span(name).is_some(), "missing span `{name}`");
+        }
+        // ...plus one child span per cluster, annotated with its budget
+        let cluster_spans: Vec<_> = traced
+            .trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "cluster")
+            .collect();
+        assert_eq!(cluster_spans.len(), traced.clusters.len());
+        for (s, c) in cluster_spans.iter().zip(&traced.clusters) {
+            assert_eq!(s.depth, 1);
+            let note = |k: &str| {
+                s.notes
+                    .iter()
+                    .find(|(key, _)| key == k)
+                    .map(|&(_, v)| v)
+                    .unwrap_or_else(|| panic!("missing note `{k}`"))
+            };
+            assert_eq!(note("cluster"), c.id as u64);
+            assert_eq!(note("members"), c.members.len() as u64);
+            assert_eq!(note("rounds"), c.routing.rounds);
+        }
+        // full tracing records the per-round series and edge hotspots
+        assert!(
+            !traced.trace.series.is_empty(),
+            "full trace must record round samples"
+        );
+        assert!(!traced.trace.hotspots.is_empty());
+        assert!(traced.trace.hotspots.len() <= 5);
+        for w in traced.trace.hotspots.windows(2) {
+            assert!(w[0].words >= w[1].words, "hotspots must be sorted");
+        }
+        // spans-only runs allocate nothing per round
+        assert!(plain.trace.series.is_empty());
+        assert!(plain.trace.hotspots.is_empty());
+    }
+
+    #[test]
+    fn traced_message_faithful_run_collects_hotspots() {
+        let mut rng = gen::seeded_rng(215);
+        let g = gen::random_planar(60, 0.5, &mut rng);
+        let cfg = FrameworkConfig {
+            message_faithful: true,
+            trace: true,
+            ..FrameworkConfig::planar(0.3, 6)
+        };
+        let out = run_framework(&g, &cfg);
+        for c in &out.clusters {
+            assert!(c.routing.complete());
+        }
+        // the per-cluster networks' edge loads fold into the host trace
+        assert!(!out.trace.hotspots.is_empty());
+        for h in &out.trace.hotspots {
+            assert!(h.edge < g.m(), "hotspot edge id must be a host edge");
+        }
     }
 }

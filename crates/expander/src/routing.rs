@@ -146,6 +146,48 @@ pub fn random_walk_routing_with_counts_exec(
     rng: &mut impl Rng,
     exec: ExecConfig,
 ) -> RoutingOutcome {
+    walk_routing_core(g, members, leader, counts, max_steps, rng, exec, false).0
+}
+
+/// [`random_walk_routing_with_counts_exec`] that additionally reports the
+/// cumulative per-edge word load of the walk: `(host_edge_id, words)` for
+/// every host edge at least one token crossed, sorted by edge id. Each
+/// crossing is one 2-word message, so `words = 2 · crossings`.
+///
+/// The walk itself is unchanged — same single draw from `rng`, same
+/// trajectory, bit-identical [`RoutingOutcome`] — so callers can switch
+/// tracing on and off without perturbing downstream randomness.
+///
+/// # Panics
+///
+/// As [`random_walk_routing_with_counts`].
+#[allow(clippy::too_many_arguments)]
+pub fn random_walk_routing_with_counts_traced(
+    g: &Graph,
+    members: &[usize],
+    leader: usize,
+    counts: &[usize],
+    max_steps: usize,
+    rng: &mut impl Rng,
+    exec: ExecConfig,
+) -> (RoutingOutcome, Vec<(usize, u64)>) {
+    walk_routing_core(g, members, leader, counts, max_steps, rng, exec, true)
+}
+
+/// Shared body of the charged lazy-walk router. `track_edges` turns on the
+/// cumulative per-edge word tally (host edge ids); everything else —
+/// trajectories, rng consumption, outcome — is identical either way.
+#[allow(clippy::too_many_arguments)]
+fn walk_routing_core(
+    g: &Graph,
+    members: &[usize],
+    leader: usize,
+    counts: &[usize],
+    max_steps: usize,
+    rng: &mut impl Rng,
+    exec: ExecConfig,
+    track_edges: bool,
+) -> (RoutingOutcome, Vec<(usize, u64)>) {
     assert_eq!(counts.len(), members.len(), "one count per member required");
     let (sub, map) = g.induced_subgraph(members);
     assert!(sub.is_connected(), "random_walk_routing needs a connected cluster");
@@ -183,6 +225,8 @@ pub fn random_walk_routing_with_counts_exec(
     let mut steps = 0usize;
     let mut max_edge_load = 0usize;
     let mut edge_load = vec![0usize; sub.m()];
+    // cumulative 2-word messages per sub edge (only when tracked)
+    let mut edge_words: Vec<u64> = if track_edges { vec![0; sub.m()] } else { Vec::new() };
     let mut moves: Vec<Option<(usize, usize)>> = vec![None; total];
     while steps < max_steps && delivered < total {
         steps += 1;
@@ -225,6 +269,9 @@ pub fn random_walk_routing_with_counts_exec(
             if let Some((e, w)) = *mv {
                 edge_load[e] += 1;
                 step_max = step_max.max(edge_load[e]);
+                if track_edges {
+                    edge_words[e] += 2; // one 2-word message per crossing
+                }
                 tok.pos = w;
                 if w == leader_local {
                     tok.alive = false;
@@ -239,13 +286,32 @@ pub fn random_walk_routing_with_counts_exec(
         rounds += step_max.max(1) as u64;
         max_edge_load = max_edge_load.max(step_max);
     }
-    RoutingOutcome {
-        delivered,
-        total,
-        steps,
-        rounds,
-        max_edge_load,
-    }
+    let loads = if track_edges {
+        let mut loads: Vec<(usize, u64)> = sub
+            .edges()
+            .filter(|&(e, _, _)| edge_words[e] > 0)
+            .map(|(e, a, b)| {
+                let host = g
+                    .edge_id(map[a], map[b])
+                    .expect("induced-subgraph edges exist in the host graph");
+                (host, edge_words[e])
+            })
+            .collect();
+        loads.sort_unstable();
+        loads
+    } else {
+        Vec::new()
+    };
+    (
+        RoutingOutcome {
+            delivered,
+            total,
+            steps,
+            rounds,
+            max_edge_load,
+        },
+        loads,
+    )
 }
 
 /// Deterministic routing: pipelined convergecast of one message per vertex
@@ -562,6 +628,54 @@ mod tests {
             rng.gen::<u64>()
         };
         assert_eq!(after(1), after(8));
+    }
+
+    #[test]
+    fn traced_walk_matches_untraced_and_reports_host_edges() {
+        let g = gen::grid(5, 5);
+        let members: Vec<usize> = (0..25).collect();
+        let counts = vec![1usize; 25];
+        let exec = lcg_congest::ExecConfig::with_threads(2);
+        let mut rng_a = gen::seeded_rng(141);
+        let plain = random_walk_routing_with_counts_exec(&g, &members, 12, &counts, 100_000, &mut rng_a, exec);
+        let mut rng_b = gen::seeded_rng(141);
+        let (traced, loads) =
+            random_walk_routing_with_counts_traced(&g, &members, 12, &counts, 100_000, &mut rng_b, exec);
+        // tracing must not perturb the walk or the caller's rng
+        assert_eq!(traced, plain);
+        use rand::Rng;
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        // loads: sorted by host edge id, all valid, words even (2 per crossing)
+        assert!(!loads.is_empty());
+        assert!(loads.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(loads.iter().all(|&(e, w)| e < g.m() && w > 0 && w % 2 == 0));
+        // total traced words = 2 per executed crossing; crossings ≥ tokens
+        // delivered from outside the leader
+        let total_words: u64 = loads.iter().map(|&(_, w)| w).sum();
+        assert!(total_words >= 2 * (traced.delivered as u64 - 1));
+    }
+
+    #[test]
+    fn traced_walk_on_subcluster_maps_to_host_ids() {
+        let mut rng = gen::seeded_rng(142);
+        let g = gen::grid(6, 4);
+        let members: Vec<usize> = (0..24).filter(|v| v % 6 < 3).collect();
+        let counts = vec![1usize; members.len()];
+        let (out, loads) = random_walk_routing_with_counts_traced(
+            &g,
+            &members,
+            0,
+            &counts,
+            200_000,
+            &mut rng,
+            lcg_congest::ExecConfig::sequential(),
+        );
+        assert!(out.complete());
+        let member_set: std::collections::BTreeSet<usize> = members.iter().copied().collect();
+        for &(e, _) in &loads {
+            let (u, v) = g.endpoints(e);
+            assert!(member_set.contains(&u) && member_set.contains(&v), "edge {e} leaves the cluster");
+        }
     }
 
     #[test]

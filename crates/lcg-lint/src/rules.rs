@@ -102,9 +102,10 @@ pub fn severity_of(rule: &str) -> Severity {
 
 /// Crates whose results must be a pure function of (input, seed): the
 /// simulator, the decomposition/routing layer, the graph substrate, the
-/// sequential solvers, the framework, and the umbrella crate.
+/// sequential solvers, the framework, the trace layer, and the umbrella
+/// crate.
 pub const DETERMINISTIC_CRATES: &[&str] =
-    &["congest", "expander", "graph", "solvers", "core", "locongest"];
+    &["congest", "expander", "graph", "solvers", "core", "trace", "locongest"];
 
 /// Per-file facts the rules dispatch on.
 #[derive(Debug, Clone)]

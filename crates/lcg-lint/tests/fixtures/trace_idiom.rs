@@ -1,0 +1,28 @@
+// Representative lcg-trace idioms, all clean under the deterministic
+// regime. Never compiled — read as text by fixtures_test.rs.
+
+use std::collections::BTreeMap;
+
+pub struct Span {
+    pub name: String,
+    pub notes: BTreeMap<String, u64>,
+}
+
+/// Sorted-map iteration: deterministic, so D001 stays silent.
+pub fn serialize_notes(span: &Span) -> Vec<(String, u64)> {
+    span.notes.iter().map(|(k, &v)| (k.clone(), v)).collect()
+}
+
+/// Invariant violations use `expect` with a message, not `unwrap`.
+pub fn close(open: &mut Vec<usize>) -> usize {
+    open.pop().expect("span stack is never empty at close")
+}
+
+/// The report binary signals failure via ExitCode, never panicking.
+pub fn exit_code(ok: bool) -> std::process::ExitCode {
+    if ok {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::from(2)
+    }
+}

@@ -95,6 +95,29 @@ fn u001_fires_and_is_suppressible() {
 }
 
 #[test]
+fn trace_crate_is_under_the_deterministic_regime() {
+    // the trace layer ships in every run's hot path; its library code —
+    // including the trace-report binary under src/bin — is held to the
+    // same determinism/panic rules as the simulator
+    let p001 = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    for path in ["crates/trace/src/tracer.rs", "crates/trace/src/bin/trace_report.rs"] {
+        let findings = lint_source(path, p001);
+        assert_eq!(active(&findings, "P001"), 1, "{path}: {findings:?}");
+    }
+    let d003 = "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n";
+    let findings = lint_source("crates/trace/src/report.rs", d003);
+    assert_eq!(active(&findings, "D003"), 1, "wall-clock in trace: {findings:?}");
+}
+
+#[test]
+fn trace_idiom_fixture_is_clean() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/trace_idiom.rs");
+    let source = std::fs::read_to_string(path).expect("fixture readable");
+    let findings = lint_source("crates/trace/src/lib.rs", &source);
+    assert!(findings.is_empty(), "trace idioms must lint clean: {findings:?}");
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let findings = lint_fixture("clean.rs");
     assert!(findings.is_empty(), "known-good fixture must be silent: {findings:?}");

@@ -1,0 +1,52 @@
+//! `trace-report` — renders a JSONL trace file as a span tree with
+//! round/word budgets, a per-round activity sparkline, and the congestion
+//! hotspot table.
+//!
+//! ```text
+//! trace-report <trace.jsonl>
+//! ```
+//!
+//! Produce a trace with the experiments driver:
+//! `cargo run --release -p lcg-bench --bin experiments -- --trace trace.jsonl`
+
+use lcg_trace::{report, Trace};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: trace-report <trace.jsonl>
+
+Renders a deterministic round trace (produced by `experiments --trace` or
+lcg_trace::Trace::to_jsonl) as:
+  - a span tree with per-phase rounds, % of total, messages, and words
+  - an ASCII sparkline of words per round (quiet charged rounds stay blank)
+  - the top-k congestion hotspot edges by cumulative words
+
+Options:
+  -h, --help   show this help";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let [path] = args.as_slice() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-report: cannot read `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let trace = match Trace::from_jsonl(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-report: `{path}` is not a valid trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report::render(&trace));
+    ExitCode::SUCCESS
+}

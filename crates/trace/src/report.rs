@@ -1,0 +1,199 @@
+//! Plain-text rendering of a [`Trace`]: span tree with round/word
+//! budgets, an ASCII per-round activity sparkline, and the hotspot table.
+//! This is the library behind the `trace-report` binary; it is pure
+//! string formatting so tests can assert on the output.
+
+use crate::trace::Trace;
+
+/// Density ramp for the sparkline, quietest to busiest.
+const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Maximum sparkline width in characters; longer runs are bucketed down.
+const SPARK_WIDTH: usize = 60;
+
+/// Renders the full report.
+pub fn render(trace: &Trace) -> String {
+    let mut out = String::new();
+    header(trace, &mut out);
+    span_tree(trace, &mut out);
+    sparkline(trace, &mut out);
+    hotspots(trace, &mut out);
+    out
+}
+
+fn header(trace: &Trace, out: &mut String) {
+    let m = &trace.meta;
+    out.push_str(&format!(
+        "trace `{}` (schema {}): n={} m={}\n",
+        m.label, m.schema, m.n, m.m
+    ));
+    let t = &trace.total;
+    out.push_str(&format!(
+        "total: rounds={} messages={} words={} max_words/edge/round={}\n",
+        t.rounds, t.messages, t.words, t.max_words_edge_round
+    ));
+}
+
+fn span_tree(trace: &Trace, out: &mut String) {
+    if trace.spans.is_empty() {
+        return;
+    }
+    out.push_str("\nspans (rounds · % of total · messages · words · max/edge/round):\n");
+    let total = trace.total.rounds;
+    for s in &trace.spans {
+        let pct = (s.rounds * 100).checked_div(total).unwrap_or(0);
+        let mut line = format!(
+            "{:indent$}{}  {} rounds ({pct}%)  msgs={} words={} max={}",
+            "",
+            s.name,
+            s.rounds,
+            s.messages,
+            s.words,
+            s.max_words_edge_round,
+            indent = 2 * s.depth,
+        );
+        if !s.notes.is_empty() {
+            let notes: Vec<String> =
+                s.notes.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            line.push_str(&format!("  [{}]", notes.join(" ")));
+        }
+        line.push('\n');
+        out.push_str(&line);
+    }
+}
+
+fn sparkline(trace: &Trace, out: &mut String) {
+    if trace.series.is_empty() || trace.total.rounds == 0 {
+        return;
+    }
+    let total = trace.total.rounds;
+    let width = SPARK_WIDTH.min(total as usize).max(1);
+    // bucket words by round index; quiet (charged) rounds stay empty
+    let mut buckets = vec![0u64; width];
+    for r in &trace.series {
+        let b = (r.round as u128 * width as u128 / total as u128) as usize;
+        buckets[b.min(width - 1)] += r.words;
+    }
+    let peak = buckets.iter().copied().max().unwrap_or(0);
+    out.push_str(&format!(
+        "\nwords per round ({} samples over {} rounds, peak bucket {} words):\n",
+        trace.series.len(),
+        total,
+        peak
+    ));
+    let mut line = String::from("  |");
+    for &b in &buckets {
+        let level = if peak == 0 || b == 0 {
+            0
+        } else {
+            // 1..=9: anything nonzero is visible
+            (1 + (b - 1) as u128 * (RAMP.len() as u128 - 2) / peak.max(1) as u128) as usize
+        };
+        line.push(RAMP[level.min(RAMP.len() - 1)]);
+    }
+    line.push_str("|\n");
+    out.push_str(&line);
+    out.push_str(&format!("   0{:>width$}\n", total, width = width.saturating_sub(1)));
+}
+
+fn hotspots(trace: &Trace, out: &mut String) {
+    if trace.hotspots.is_empty() {
+        return;
+    }
+    out.push_str("\nhotspot edges (cumulative words):\n");
+    let peak = trace.hotspots.iter().map(|h| h.words).max().unwrap_or(0);
+    for h in &trace.hotspots {
+        let bar_len = (h.words * 24).checked_div(peak).unwrap_or(0) as usize;
+        out.push_str(&format!(
+            "  #{:<3} edge {:>6}  ({} -- {})  {:>10} words  {}\n",
+            h.rank,
+            h.edge,
+            h.u,
+            h.v,
+            h.words,
+            "█".repeat(bar_len.max(1)),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceConfig, Tracer};
+
+    fn traced() -> Trace {
+        let mut t = Tracer::new(TraceConfig::full("report-test"));
+        t.bind_topology(3, 2, vec![(0, 1), (1, 2)]);
+        let root = t.open_span("run");
+        let a = t.open_span("phase-a");
+        t.record_round(2, 4, 2);
+        t.close_span(a);
+        let b = t.open_span("phase-b");
+        t.record_quiet_rounds(5);
+        t.record_round(1, 1, 1);
+        t.annotate(b, "clusters", 3);
+        t.close_span(b);
+        t.close_span(root);
+        t.add_edge_words(1, 9);
+        t.add_edge_words(0, 2);
+        t.finish()
+    }
+
+    #[test]
+    fn report_includes_all_sections() {
+        let text = render(&traced());
+        assert!(text.contains("trace `report-test`"));
+        assert!(text.contains("total: rounds=7"));
+        assert!(text.contains("phase-a"));
+        assert!(text.contains("[clusters=3]"));
+        assert!(text.contains("words per round"));
+        assert!(text.contains("hotspot edges"));
+        assert!(text.contains("(1 -- 2)"));
+    }
+
+    #[test]
+    fn child_spans_are_indented_under_parents() {
+        let text = render(&traced());
+        let run_line = text.lines().find(|l| l.contains("run ")).expect("run span rendered");
+        let child_line = text.lines().find(|l| l.contains("phase-a")).expect("child rendered");
+        let lead = |l: &str| l.len() - l.trim_start().len();
+        assert!(lead(child_line) > lead(run_line));
+    }
+
+    #[test]
+    fn spans_only_trace_renders_without_series_or_hotspots() {
+        let mut t = Tracer::new(TraceConfig::spans_only("lean"));
+        let sp = t.open_span("only");
+        t.record_round(1, 1, 1);
+        t.close_span(sp);
+        let text = render(&t.finish());
+        assert!(text.contains("only"));
+        assert!(!text.contains("words per round"));
+        assert!(!text.contains("hotspot edges"));
+    }
+
+    #[test]
+    fn empty_trace_renders_totals_only() {
+        let t = Tracer::new(TraceConfig::spans_only("empty"));
+        let text = render(&t.finish());
+        assert!(text.contains("total: rounds=0"));
+    }
+
+    #[test]
+    fn sparkline_marks_active_buckets_only() {
+        let mut t = Tracer::new(TraceConfig::full("gap"));
+        t.record_round(1, 100, 4);
+        t.record_quiet_rounds(58);
+        t.record_round(1, 100, 4);
+        let text = render(&t.finish());
+        let spark = text
+            .lines()
+            .find(|l| l.starts_with("  |"))
+            .expect("sparkline rendered");
+        let body: Vec<char> = spark.trim().trim_matches('|').chars().collect();
+        assert_eq!(body.len(), 60);
+        assert_ne!(body[0], ' ');
+        assert_ne!(body[59], ' ');
+        assert!(body[1..59].iter().all(|&c| c == ' '));
+    }
+}

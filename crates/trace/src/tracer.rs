@@ -1,0 +1,439 @@
+//! The recording side: [`Tracer`] accumulates spans, per-round samples,
+//! and per-edge loads while an execution runs, then [`Tracer::finish`]es
+//! into an immutable [`Trace`].
+
+use crate::trace::{Hotspot, RoundSample, SpanRecord, Totals, Trace, TraceMeta};
+
+/// What a [`Tracer`] records beyond the span tree (which is always on).
+///
+/// The two heavyweight channels are opt-in so that an always-attached
+/// tracer (e.g. the framework's phase accounting) costs a handful of
+/// integer updates per round and **allocates nothing per round**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Label stored in the trace header (e.g. `"framework"`).
+    pub label: String,
+    /// Record one [`RoundSample`] per executed round.
+    pub series: bool,
+    /// Accumulate cumulative words per edge (enables hotspots).
+    pub edge_loads: bool,
+    /// Number of hotspot edges kept when finishing (ignored unless
+    /// `edge_loads`).
+    pub top_k: usize,
+}
+
+impl TraceConfig {
+    /// Spans only: the cheapest mode, suitable for always-on phase
+    /// accounting. No per-round allocation, no per-edge state.
+    pub fn spans_only(label: &str) -> TraceConfig {
+        TraceConfig { label: label.to_string(), series: false, edge_loads: false, top_k: 0 }
+    }
+
+    /// Everything: spans, per-round series, and edge-load hotspots
+    /// (top 10 by default; see [`TraceConfig::with_top_k`]).
+    pub fn full(label: &str) -> TraceConfig {
+        TraceConfig { label: label.to_string(), series: true, edge_loads: true, top_k: 10 }
+    }
+
+    /// Spans plus edge loads, without the per-round series. Used for
+    /// short-lived helper networks whose hotspot contribution is merged
+    /// into a main tracer ([`Tracer::merge_edge_words_from`]).
+    pub fn hotspots_only(label: &str) -> TraceConfig {
+        TraceConfig { label: label.to_string(), series: false, edge_loads: true, top_k: 10 }
+    }
+
+    /// Overrides the hotspot count.
+    pub fn with_top_k(mut self, top_k: usize) -> TraceConfig {
+        self.top_k = top_k;
+        self
+    }
+}
+
+/// Handle to an open span, returned by [`Tracer::open_span`].
+///
+/// Spans close in LIFO order (they are intervals of the single logical
+/// round clock, so they nest properly or not at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+/// Mutable state of one span while recording.
+#[derive(Debug, Clone)]
+struct SpanData {
+    name: String,
+    parent: Option<usize>,
+    depth: usize,
+    start_round: u64,
+    end_round: Option<u64>,
+    rounds: u64,
+    messages: u64,
+    words: u64,
+    max_words: usize,
+    notes: Vec<(String, u64)>,
+}
+
+/// Records one execution. Drive it through the simulator's hook points
+/// (`record_round` per executed round, `record_quiet_rounds` for charged
+/// silent rounds, `record_external` for merged foreign stats) and scope
+/// phases with `open_span`/`close_span`; then [`Tracer::finish`].
+///
+/// Everything recorded is a pure function of the deterministic engine's
+/// counters, so two runs with the same seed produce identical traces at
+/// any thread count.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    cfg: TraceConfig,
+    /// Graph size, set by [`Tracer::bind_topology`].
+    n: usize,
+    m: usize,
+    /// Endpoints per edge id (only kept when `edge_loads`).
+    ends: Vec<(usize, usize)>,
+    // cumulative counters (mirror of the execution's RoundStats)
+    rounds: u64,
+    messages: u64,
+    words: u64,
+    max_words: usize,
+    spans: Vec<SpanData>,
+    /// Stack of open span indices.
+    open: Vec<usize>,
+    series: Vec<RoundSample>,
+    edge_words: Vec<u64>,
+}
+
+impl Tracer {
+    /// A tracer with nothing recorded yet.
+    pub fn new(cfg: TraceConfig) -> Tracer {
+        Tracer {
+            cfg,
+            n: 0,
+            m: 0,
+            ends: Vec::new(),
+            rounds: 0,
+            messages: 0,
+            words: 0,
+            max_words: 0,
+            spans: Vec::new(),
+            open: Vec::new(),
+            series: Vec::new(),
+            edge_words: Vec::new(),
+        }
+    }
+
+    /// Declares the topology being traced: vertex count, edge count, and
+    /// (edge id → endpoints). Called once by the network the tracer is
+    /// attached to; the per-edge load table is allocated here — never per
+    /// round.
+    pub fn bind_topology(&mut self, n: usize, m: usize, ends: Vec<(usize, usize)>) {
+        self.n = n;
+        self.m = m;
+        if self.cfg.edge_loads {
+            assert_eq!(ends.len(), m, "one endpoint pair per edge");
+            self.ends = ends;
+            if self.edge_words.len() != m {
+                self.edge_words = vec![0; m];
+            }
+        }
+    }
+
+    /// `true` when this tracer accumulates per-edge loads (the network
+    /// only walks the edge table when someone is listening).
+    pub fn records_edge_loads(&self) -> bool {
+        self.cfg.edge_loads
+    }
+
+    /// Rounds recorded so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Opens a nested span named `name`, starting at the current round.
+    pub fn open_span(&mut self, name: &str) -> SpanId {
+        let parent = self.open.last().copied();
+        let id = self.spans.len();
+        self.spans.push(SpanData {
+            name: name.to_string(),
+            parent,
+            depth: self.open.len(),
+            start_round: self.rounds,
+            end_round: None,
+            rounds: 0,
+            messages: 0,
+            words: 0,
+            max_words: 0,
+            notes: Vec::new(),
+        });
+        self.open.push(id);
+        SpanId(id)
+    }
+
+    /// Closes `id`, which must be the innermost open span.
+    pub fn close_span(&mut self, id: SpanId) {
+        let top = self.open.pop();
+        assert_eq!(top, Some(id.0), "spans close in LIFO order");
+        self.spans[id.0].end_round = Some(self.rounds);
+    }
+
+    /// Attaches a `key = value` annotation to a span (open or closed) —
+    /// e.g. a cluster's charged rounds or walk-step count. Annotation
+    /// order is preserved in the trace.
+    pub fn annotate(&mut self, id: SpanId, key: &str, value: u64) {
+        self.spans[id.0].notes.push((key.to_string(), value));
+    }
+
+    /// Records one executed round: `messages` sent, `words` sent, and the
+    /// maximum words that crossed a single edge (one direction) this round.
+    pub fn record_round(&mut self, messages: u64, words: u64, max_edge_words: usize) {
+        self.rounds += 1;
+        self.messages += messages;
+        self.words += words;
+        self.max_words = self.max_words.max(max_edge_words);
+        for &i in &self.open {
+            let s = &mut self.spans[i];
+            s.rounds += 1;
+            s.messages += messages;
+            s.words += words;
+            s.max_words = s.max_words.max(max_edge_words);
+        }
+        if self.cfg.series {
+            self.series.push(RoundSample {
+                round: self.rounds - 1,
+                messages,
+                words,
+                max_edge_words,
+            });
+        }
+    }
+
+    /// Records `rounds` charged silent rounds (no traffic, no samples —
+    /// sample round indices make the gap explicit).
+    pub fn record_quiet_rounds(&mut self, rounds: u64) {
+        self.rounds += rounds;
+        for &i in &self.open {
+            self.spans[i].rounds += rounds;
+        }
+    }
+
+    /// Merges externally-measured statistics (e.g. traffic of per-cluster
+    /// networks whose rounds are charged separately) into the counters.
+    pub fn record_external(&mut self, rounds: u64, messages: u64, words: u64, max_edge_words: usize) {
+        self.rounds += rounds;
+        self.messages += messages;
+        self.words += words;
+        self.max_words = self.max_words.max(max_edge_words);
+        for &i in &self.open {
+            let s = &mut self.spans[i];
+            s.rounds += rounds;
+            s.messages += messages;
+            s.words += words;
+            s.max_words = s.max_words.max(max_edge_words);
+        }
+    }
+
+    /// Adds `words` to edge `edge`'s cumulative load. No-op unless
+    /// edge loads are enabled and the topology is bound.
+    pub fn add_edge_words(&mut self, edge: usize, words: u64) {
+        if let Some(w) = self.edge_words.get_mut(edge) {
+            *w += words;
+        }
+    }
+
+    /// Sums another tracer's per-edge loads into this one. Both tracers
+    /// must be bound to the same topology (same edge ids) — used when
+    /// logically-parallel helper networks run over the same host graph.
+    pub fn merge_edge_words_from(&mut self, other: &Tracer) {
+        assert_eq!(
+            self.edge_words.len(),
+            other.edge_words.len(),
+            "edge-load merge requires the same topology"
+        );
+        for (a, b) in self.edge_words.iter_mut().zip(&other.edge_words) {
+            *a += b;
+        }
+    }
+
+    /// Seals the recording into an immutable [`Trace`]: resolves the span
+    /// tree, computes the top-k hotspots, and snapshots the totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a span is still open (every `open_span` needs its
+    /// `close_span`).
+    pub fn finish(self) -> Trace {
+        assert!(
+            self.open.is_empty(),
+            "unclosed span {:?} at finish",
+            self.open.last().map(|&i| self.spans[i].name.clone())
+        );
+        let spans: Vec<SpanRecord> = self
+            .spans
+            .iter()
+            .enumerate()
+            .map(|(id, s)| SpanRecord {
+                id,
+                parent: s.parent,
+                name: s.name.clone(),
+                depth: s.depth,
+                start_round: s.start_round,
+                end_round: s.end_round.expect("every span was closed"),
+                rounds: s.rounds,
+                messages: s.messages,
+                words: s.words,
+                max_words_edge_round: s.max_words,
+                notes: s.notes.clone(),
+            })
+            .collect();
+        // hotspots: heaviest first, ties broken by edge id (deterministic)
+        let mut loaded: Vec<(usize, u64)> = self
+            .edge_words
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w > 0)
+            .map(|(e, &w)| (e, w))
+            .collect();
+        loaded.sort_by_key(|&(e, w)| (std::cmp::Reverse(w), e));
+        let hotspots: Vec<Hotspot> = loaded
+            .into_iter()
+            .take(self.cfg.top_k)
+            .enumerate()
+            .map(|(rank, (edge, words))| {
+                let (u, v) = self.ends[edge];
+                Hotspot { rank: rank + 1, edge, u, v, words }
+            })
+            .collect();
+        Trace {
+            meta: TraceMeta {
+                schema: 1,
+                label: self.cfg.label.clone(),
+                n: self.n,
+                m: self.m,
+                series: self.cfg.series,
+                edge_loads: self.cfg.edge_loads,
+            },
+            total: Totals {
+                rounds: self.rounds,
+                messages: self.messages,
+                words: self.words,
+                max_words_edge_round: self.max_words,
+            },
+            spans,
+            series: self.series,
+            hotspots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_capture_deltas() {
+        let mut t = Tracer::new(TraceConfig::spans_only("x"));
+        let outer = t.open_span("outer");
+        t.record_round(2, 4, 1);
+        let inner = t.open_span("inner");
+        t.record_round(1, 1, 1);
+        t.record_quiet_rounds(10);
+        t.close_span(inner);
+        t.record_round(3, 9, 3);
+        t.close_span(outer);
+        let trace = t.finish();
+        let outer = trace.span("outer").expect("outer span recorded");
+        let inner = trace.span("inner").expect("inner span recorded");
+        assert_eq!(outer.rounds, 13);
+        assert_eq!(outer.messages, 6);
+        assert_eq!(outer.words, 14);
+        assert_eq!(outer.max_words_edge_round, 3);
+        assert_eq!(inner.rounds, 11);
+        assert_eq!(inner.messages, 1);
+        assert_eq!(inner.parent, Some(0));
+        assert_eq!(inner.depth, 1);
+        assert_eq!((inner.start_round, inner.end_round), (1, 12));
+        assert_eq!(trace.total.rounds, 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "LIFO")]
+    fn spans_must_close_in_lifo_order() {
+        let mut t = Tracer::new(TraceConfig::spans_only("x"));
+        let a = t.open_span("a");
+        let _b = t.open_span("b");
+        t.close_span(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed span")]
+    fn finish_rejects_open_spans() {
+        let mut t = Tracer::new(TraceConfig::spans_only("x"));
+        let _ = t.open_span("a");
+        let _ = t.finish();
+    }
+
+    #[test]
+    fn series_records_round_indices_across_quiet_gaps() {
+        let mut t = Tracer::new(TraceConfig::full("x"));
+        t.record_round(1, 2, 1);
+        t.record_quiet_rounds(5);
+        t.record_round(3, 4, 2);
+        let trace = t.finish();
+        assert_eq!(trace.total.rounds, 7);
+        assert_eq!(trace.series.len(), 2);
+        assert_eq!(trace.series[0].round, 0);
+        assert_eq!(trace.series[1].round, 6);
+    }
+
+    #[test]
+    fn hotspots_rank_by_load_then_edge_id() {
+        let mut t = Tracer::new(TraceConfig::full("x").with_top_k(2));
+        t.bind_topology(4, 3, vec![(0, 1), (1, 2), (2, 3)]);
+        t.add_edge_words(1, 5);
+        t.add_edge_words(0, 5);
+        t.add_edge_words(2, 9);
+        let trace = t.finish();
+        assert_eq!(trace.hotspots.len(), 2);
+        assert_eq!((trace.hotspots[0].edge, trace.hotspots[0].words), (2, 9));
+        assert_eq!((trace.hotspots[1].edge, trace.hotspots[1].words), (0, 5));
+        assert_eq!((trace.hotspots[0].u, trace.hotspots[0].v), (2, 3));
+        assert_eq!(trace.hotspots[0].rank, 1);
+    }
+
+    #[test]
+    fn merge_edge_words_sums_elementwise() {
+        let mk = || {
+            let mut t = Tracer::new(TraceConfig::hotspots_only("x"));
+            t.bind_topology(3, 2, vec![(0, 1), (1, 2)]);
+            t
+        };
+        let mut a = mk();
+        let mut b = mk();
+        a.add_edge_words(0, 3);
+        b.add_edge_words(0, 4);
+        b.add_edge_words(1, 1);
+        a.merge_edge_words_from(&b);
+        let trace = a.finish();
+        assert_eq!((trace.hotspots[0].edge, trace.hotspots[0].words), (0, 7));
+        assert_eq!((trace.hotspots[1].edge, trace.hotspots[1].words), (1, 1));
+    }
+
+    #[test]
+    fn spans_only_mode_records_no_series_or_edges() {
+        let mut t = Tracer::new(TraceConfig::spans_only("x"));
+        t.bind_topology(3, 2, vec![(0, 1), (1, 2)]);
+        t.record_round(1, 1, 1);
+        t.add_edge_words(0, 5); // silently ignored: no table allocated
+        let trace = t.finish();
+        assert!(trace.series.is_empty());
+        assert!(trace.hotspots.is_empty());
+        assert!(!trace.meta.series && !trace.meta.edge_loads);
+    }
+
+    #[test]
+    fn external_stats_attribute_to_open_spans() {
+        let mut t = Tracer::new(TraceConfig::spans_only("x"));
+        let sp = t.open_span("gathering");
+        t.record_external(0, 100, 200, 2);
+        t.close_span(sp);
+        let trace = t.finish();
+        let s = trace.span("gathering").expect("span recorded");
+        assert_eq!((s.rounds, s.messages, s.words), (0, 100, 200));
+    }
+}
