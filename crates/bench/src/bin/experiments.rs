@@ -35,6 +35,12 @@ usage: experiments [IDS...] [OPTIONS]
                       and print the report to stderr; with no IDS, run
                       only the traced run
   --trace-top-k N     hotspot edges kept in the trace (default 10)
+  --faults P          inject seeded i.i.d. message drops with probability P
+                      into the traced run (fault events land in the trace)
+  --fault-seed S      fault-schedule seed for --faults and E20
+                      (default 0xFA17)
+  --retry-budget N    max retries of the self-healing harness in E20
+                      (default 3)
   -h, --help          print this help";
 
 fn main() {
@@ -56,12 +62,31 @@ fn main() {
     let trace_top_k: usize = flag_value("--trace-top-k")
         .map(|v| v.parse().expect("--trace-top-k expects a number"))
         .unwrap_or(10);
+    let fault_drop: Option<f64> = flag_value("--faults")
+        .map(|v| v.parse().expect("--faults expects a probability in [0,1]"));
+    let fault_seed: u64 = flag_value("--fault-seed")
+        .map(|v| v.parse().expect("--fault-seed expects a number"))
+        .unwrap_or(0xFA17);
     if let Some(t) = &threads {
         // ExecConfig::from_env reads this everywhere a Network is built
         std::env::set_var("LCG_THREADS", t);
     }
+    // E20 reads these the same way --threads travels via LCG_THREADS
+    std::env::set_var("LCG_FAULT_SEED", fault_seed.to_string());
+    if let Some(b) = flag_value("--retry-budget") {
+        let _: u32 = b.parse().expect("--retry-budget expects a number");
+        std::env::set_var("LCG_RETRY_BUDGET", b);
+    }
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let flags_with_value = ["--json", "--threads", "--trace", "--trace-top-k"];
+    let flags_with_value = [
+        "--json",
+        "--threads",
+        "--trace",
+        "--trace-top-k",
+        "--faults",
+        "--fault-seed",
+        "--retry-budget",
+    ];
     let selected: Vec<String> = args
         .iter()
         .enumerate()
@@ -74,7 +99,7 @@ fn main() {
         .collect();
 
     if let Some(path) = &trace_path {
-        run_traced(path, trace_top_k, scale);
+        run_traced(path, trace_top_k, scale, fault_drop, fault_seed);
         if selected.is_empty() {
             return;
         }
@@ -109,7 +134,10 @@ fn main() {
 }
 
 /// One fully traced framework run on a planar instance, sized by `scale`.
-fn run_traced(path: &str, top_k: usize, scale: Scale) {
+/// With `--faults P`, a seeded drop schedule is injected and its events
+/// land in the trace (and the report's fault section).
+fn run_traced(path: &str, top_k: usize, scale: Scale, fault_drop: Option<f64>, fault_seed: u64) {
+    use lcg_congest::FaultPlan;
     use lcg_core::framework::{run_framework, FrameworkConfig};
     use lcg_graph::gen;
 
@@ -123,6 +151,7 @@ fn run_traced(path: &str, top_k: usize, scale: Scale) {
     let cfg = FrameworkConfig {
         trace: true,
         trace_top_k: top_k,
+        faults: fault_drop.map(|p| FaultPlan::drops(fault_seed, p)),
         ..FrameworkConfig::planar(0.3, 42)
     };
     let out = run_framework(&g, &cfg);

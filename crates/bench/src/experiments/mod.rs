@@ -19,6 +19,7 @@ pub mod e16_kernel_ablation;
 pub mod e17_message_faithful;
 pub mod e18_scaling;
 pub mod e19_parallel;
+pub mod e20_chaos;
 
 use crate::{Scale, Table};
 
@@ -47,5 +48,6 @@ pub fn all() -> Vec<(&'static str, Experiment)> {
         ("e17", e17_message_faithful::run),
         ("e18", e18_scaling::run),
         ("e19", e19_parallel::run),
+        ("e20", e20_chaos::run),
     ]
 }

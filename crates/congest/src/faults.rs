@@ -1,0 +1,362 @@
+//! Deterministic fault injection for the simulator.
+//!
+//! A [`FaultPlan`] describes an *adversarial but reproducible* network:
+//! per-round-interval link failures, seeded i.i.d. message drops, node
+//! crash-stops, and CONGEST-capacity truncation. Attached to a
+//! [`crate::Network`] via `set_fault_plan`, the plan intercepts every
+//! message at delivery time — on both the `step` and the `exchange`
+//! delivery path — and decides its fate.
+//!
+//! # Determinism
+//!
+//! Every decision is a pure function of `(plan, round, edge, direction)`:
+//!
+//! * crash and link verdicts are table lookups;
+//! * the i.i.d. drop coin comes from a ChaCha8 stream **keyed by
+//!   `(round, edge)`** — one independent stream per coordinate pair, with
+//!   the two direction words drawn from that stream — never from a shared
+//!   sequential RNG.
+//!
+//! Because delivery is a sequential vertex-order sweep (the parallel
+//! engine only parallelizes outbox *composition*), and because the keyed
+//! stream makes each coin independent of visitation order anyway, a
+//! faulty execution is **bit-identical at every worker-thread count**,
+//! the same guarantee the engine gives fault-free runs.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A link failure: `edge` delivers nothing in rounds
+/// `from_round..until_round` (half-open, 0-based round indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFailure {
+    /// Host edge id.
+    pub edge: usize,
+    /// First failed round (inclusive).
+    pub from_round: u64,
+    /// First working round again (exclusive end).
+    pub until_round: u64,
+}
+
+/// A crash-stop fault: from round `at_round` on, `node` neither sends nor
+/// receives (messages in either direction are destroyed in transit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCrash {
+    /// Host vertex id.
+    pub node: usize,
+    /// First round (0-based) in which the node is down.
+    pub at_round: u64,
+}
+
+/// A deterministic fault schedule for one network execution.
+///
+/// The plan is plain data — it can be cloned, compared, and attached to
+/// any number of networks; each attachment replays the same schedule.
+///
+/// # Examples
+///
+/// ```
+/// use lcg_congest::FaultPlan;
+///
+/// let plan = FaultPlan::drops(0xBAD5EED, 0.25)
+///     .with_link_failure(3, 0, 10)
+///     .with_crash(7, 100);
+/// assert!(!plan.is_vacuous());
+/// // decisions are reproducible: same key, same verdict
+/// let d = plan.drops_message(5, 12, false);
+/// assert_eq!(plan.drops_message(5, 12, false), d);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the keyed drop stream.
+    pub seed: u64,
+    /// Probability that any given message is dropped i.i.d.
+    pub drop_prob: f64,
+    /// Scheduled link failures.
+    pub link_failures: Vec<LinkFailure>,
+    /// Crash-stop nodes.
+    pub crashes: Vec<NodeCrash>,
+    /// When set, messages longer than this many words are truncated to it
+    /// at delivery (modelling a capacity-cutting adversary).
+    pub truncate_words: Option<usize>,
+}
+
+impl FaultPlan {
+    /// The vacuous plan: nothing ever fails. Attaching it must leave every
+    /// execution's results and statistics byte-identical to running with
+    /// no plan at all.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            link_failures: Vec::new(),
+            crashes: Vec::new(),
+            truncate_words: None,
+        }
+    }
+
+    /// Pure i.i.d. message drops with probability `p`, keyed by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn drops(seed: u64, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0, 1]");
+        FaultPlan { drop_prob: p, seed, ..FaultPlan::none() }
+    }
+
+    /// Adds a link failure on `edge` over rounds `from..until`.
+    pub fn with_link_failure(mut self, edge: usize, from_round: u64, until_round: u64) -> FaultPlan {
+        self.link_failures.push(LinkFailure { edge, from_round, until_round });
+        self
+    }
+
+    /// Adds a crash-stop of `node` starting at `at_round`.
+    pub fn with_crash(mut self, node: usize, at_round: u64) -> FaultPlan {
+        self.crashes.push(NodeCrash { node, at_round });
+        self
+    }
+
+    /// Caps delivered messages at `words` words.
+    pub fn with_truncation(mut self, words: usize) -> FaultPlan {
+        self.truncate_words = Some(words);
+        self
+    }
+
+    /// `true` when the plan can never affect any message — the network
+    /// treats a vacuous plan exactly like no plan.
+    pub fn is_vacuous(&self) -> bool {
+        self.drop_prob <= 0.0
+            && self.link_failures.is_empty()
+            && self.crashes.is_empty()
+            && self.truncate_words.is_none()
+    }
+
+    /// `true` when `node` is crashed in `round`.
+    pub fn node_crashed(&self, node: usize, round: u64) -> bool {
+        self.crashes.iter().any(|c| c.node == node && c.at_round <= round)
+    }
+
+    /// `true` when `edge` is down in `round`.
+    pub fn edge_down(&self, edge: usize, round: u64) -> bool {
+        self.link_failures
+            .iter()
+            .any(|l| l.edge == edge && l.from_round <= round && round < l.until_round)
+    }
+
+    /// The i.i.d. drop coin for one message: a ChaCha8 stream is seeded
+    /// from `(seed, round, edge)` and the direction selects which of its
+    /// first two words is compared against the probability threshold. A
+    /// pure function of the key — independent of call order, thread
+    /// count, and everything previously drawn.
+    pub fn drops_message(&self, round: u64, edge: usize, reverse_dir: bool) -> bool {
+        if self.drop_prob <= 0.0 {
+            return false;
+        }
+        let key = self.seed
+            ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (edge as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        let mut stream = ChaCha8Rng::seed_from_u64(key);
+        let forward = stream.next_u64();
+        let word = if reverse_dir { stream.next_u64() } else { forward };
+        word < drop_threshold(self.drop_prob)
+    }
+
+    /// Combined verdict for a single message crossing `edge` from `from`
+    /// to `to` in `round`: `true` when the message is lost. Used by the
+    /// charged (non-message-faithful) routing walks, which never enter a
+    /// `Network` but must suffer the same schedule.
+    pub fn kills_message(&self, round: u64, edge: usize, from: usize, to: usize) -> bool {
+        self.node_crashed(from, round)
+            || self.node_crashed(to, round)
+            || self.edge_down(edge, round)
+            || self.drops_message(round, edge, from > to)
+    }
+}
+
+/// `p` mapped onto the u64 range. Rust float→int casts saturate, so
+/// `p = 1.0` maps to `u64::MAX` (drops everything except the single
+/// largest draw — indistinguishable from certainty in practice, and
+/// monotone in `p`).
+fn drop_threshold(p: f64) -> u64 {
+    (p * (u64::MAX as f64)) as u64
+}
+
+/// What happened to one message at delivery time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultVerdict {
+    /// Delivered (possibly truncated).
+    Deliver,
+    /// Destroyed because an endpoint is crashed.
+    Crashed,
+    /// Destroyed because the link is down this round.
+    LinkDown,
+    /// Destroyed by the i.i.d. drop coin.
+    Dropped,
+}
+
+/// A plan compiled against one topology: crash rounds indexed by vertex
+/// and down-intervals indexed by edge, so the per-message verdict is O(1)
+/// plus one keyed stream when `drop_prob > 0`.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    /// `crashed_at[v]`: earliest crash round of `v`, `u64::MAX` if never.
+    crashed_at: Vec<u64>,
+    /// Down intervals per edge (usually zero or one).
+    down: Vec<Vec<(u64, u64)>>,
+}
+
+impl FaultState {
+    /// Compiles `plan` for a graph with `n` vertices and `m` edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan references a vertex `>= n`, an edge `>= m`,
+    /// or a drop probability outside `[0, 1]`.
+    pub(crate) fn compile(plan: FaultPlan, n: usize, m: usize) -> FaultState {
+        assert!(
+            (0.0..=1.0).contains(&plan.drop_prob),
+            "drop probability must be in [0, 1]"
+        );
+        let mut crashed_at = vec![u64::MAX; n];
+        for c in &plan.crashes {
+            assert!(c.node < n, "crash of vertex {} but the graph has {n} vertices", c.node);
+            crashed_at[c.node] = crashed_at[c.node].min(c.at_round);
+        }
+        let mut down = vec![Vec::new(); m];
+        for l in &plan.link_failures {
+            assert!(l.edge < m, "link failure on edge {} but the graph has {m} edges", l.edge);
+            down[l.edge].push((l.from_round, l.until_round));
+        }
+        FaultState { plan, crashed_at, down }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub(crate) fn truncate_words(&self) -> Option<usize> {
+        self.plan.truncate_words
+    }
+
+    /// The verdict for a message from `from` to `to` over `edge` in
+    /// `round`. Precedence: crash, then link failure, then the i.i.d.
+    /// coin — so counters attribute each loss to one cause.
+    pub(crate) fn classify(&self, round: u64, edge: usize, from: usize, to: usize) -> FaultVerdict {
+        if self.crashed_at[from] <= round || self.crashed_at[to] <= round {
+            return FaultVerdict::Crashed;
+        }
+        if self.down[edge].iter().any(|&(a, b)| a <= round && round < b) {
+            return FaultVerdict::LinkDown;
+        }
+        if self.plan.drops_message(round, edge, from > to) {
+            return FaultVerdict::Dropped;
+        }
+        FaultVerdict::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vacuous_plan_never_drops() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_vacuous());
+        for round in 0..50 {
+            for edge in 0..50 {
+                assert!(!plan.drops_message(round, edge, false));
+                assert!(!plan.drops_message(round, edge, true));
+                assert!(!plan.kills_message(round, edge, 0, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn drop_decisions_are_keyed_not_sequential() {
+        let plan = FaultPlan::drops(42, 0.5);
+        // querying in two different orders yields the same table
+        let mut forward = Vec::new();
+        for round in 0..20u64 {
+            for edge in 0..20usize {
+                forward.push(plan.drops_message(round, edge, false));
+            }
+        }
+        let mut backward = Vec::new();
+        for round in (0..20u64).rev() {
+            for edge in (0..20usize).rev() {
+                backward.push(plan.drops_message(round, edge, false));
+            }
+        }
+        backward.reverse();
+        assert_eq!(forward, backward);
+        // the rate is roughly p
+        let hits = forward.iter().filter(|&&b| b).count();
+        assert!((120..=280).contains(&hits), "{hits}/400 drops at p=0.5");
+    }
+
+    #[test]
+    fn directions_are_independent_coins() {
+        let plan = FaultPlan::drops(7, 0.5);
+        let differs = (0..200u64)
+            .any(|r| plan.drops_message(r, 3, false) != plan.drops_message(r, 3, true));
+        assert!(differs, "the two directions must not share one coin");
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let all = FaultPlan::drops(1, 1.0);
+        let hits = (0..200u64).filter(|&r| all.drops_message(r, 0, false)).count();
+        assert_eq!(hits, 200, "p = 1.0 must drop (saturating cast)");
+        let none = FaultPlan::drops(1, 0.0);
+        assert!((0..200u64).all(|r| !none.drops_message(r, 0, false)));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_probability() {
+        FaultPlan::drops(0, 1.5);
+    }
+
+    #[test]
+    fn compiled_state_classifies_with_precedence() {
+        let plan = FaultPlan::drops(9, 1.0) // would drop everything...
+            .with_link_failure(2, 5, 10)
+            .with_crash(4, 8);
+        let fs = FaultState::compile(plan, 6, 4);
+        // crash wins over link and drop
+        assert_eq!(fs.classify(8, 2, 4, 1), FaultVerdict::Crashed);
+        assert_eq!(fs.classify(9, 2, 0, 4), FaultVerdict::Crashed);
+        // link failure wins over the coin inside its interval
+        assert_eq!(fs.classify(5, 2, 0, 1), FaultVerdict::LinkDown);
+        assert_eq!(fs.classify(9, 2, 0, 1), FaultVerdict::LinkDown);
+        // outside the interval the p=1 coin drops
+        assert_eq!(fs.classify(4, 2, 0, 1), FaultVerdict::Dropped);
+        assert_eq!(fs.classify(10, 2, 0, 1), FaultVerdict::Dropped);
+        // before the crash round the node works
+        assert_eq!(fs.classify(7, 3, 4, 1), FaultVerdict::Dropped);
+    }
+
+    #[test]
+    fn link_intervals_are_half_open() {
+        let plan = FaultPlan::none().with_link_failure(0, 3, 6);
+        assert!(!plan.edge_down(0, 2));
+        assert!(plan.edge_down(0, 3));
+        assert!(plan.edge_down(0, 5));
+        assert!(!plan.edge_down(0, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "vertices")]
+    fn compile_rejects_out_of_range_crash() {
+        FaultState::compile(FaultPlan::none().with_crash(10, 0), 5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "edges")]
+    fn compile_rejects_out_of_range_edge() {
+        FaultState::compile(FaultPlan::none().with_link_failure(4, 0, 1), 5, 4);
+    }
+}

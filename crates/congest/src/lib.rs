@@ -34,6 +34,7 @@
 
 pub mod algorithm;
 pub mod exec;
+pub mod faults;
 mod model;
 mod network;
 pub mod primitives;
@@ -41,6 +42,7 @@ pub mod stats;
 
 pub use algorithm::{run_programs, run_programs_state, NodeCtx, NodeProgram};
 pub use exec::ExecConfig;
+pub use faults::{FaultPlan, LinkFailure, NodeCrash};
 pub use model::Model;
 pub use network::{Inbox, Message, Network, Outbox};
 pub use stats::RoundStats;

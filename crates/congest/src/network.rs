@@ -38,6 +38,7 @@ use lcg_graph::Graph;
 use lcg_trace::{SpanId, Tracer};
 
 use crate::exec::ExecConfig;
+use crate::faults::{FaultPlan, FaultState, FaultVerdict};
 use crate::model::Model;
 use crate::stats::RoundStats;
 
@@ -101,8 +102,13 @@ pub struct Network<'g> {
     /// no allocation.
     tracer: Option<Tracer>,
     /// `edge_of[v][p]`: host edge id behind port `p` of `v`. Built only
-    /// when an attached tracer records per-edge loads; empty otherwise.
+    /// when an attached tracer records per-edge loads or a fault plan is
+    /// installed; empty otherwise.
     edge_of: Vec<Vec<usize>>,
+    /// Compiled fault schedule ([`Network::set_fault_plan`]). `None` (the
+    /// default) keeps both delivery paths on their historical fault-free
+    /// sweeps — zero cost, bit-identical behavior.
+    faults: Option<FaultState>,
 }
 
 /// Per-vertex outbox handed to the step closure.
@@ -274,6 +280,76 @@ where
     });
 }
 
+/// The delivery sweep under an installed fault plan: every taken message
+/// is adjudicated by the compiled schedule — destroyed messages are
+/// tallied (by cause) instead of delivered, surviving messages are
+/// truncated to the plan's capacity cap when one is set. Shared by both
+/// delivery paths (`deliver` writes into `pending`, `route_exchange` into
+/// fresh inboxes). Tracer edge loads count *delivered* words, so traces
+/// show the traffic that actually arrived; the compose-barrier statistics
+/// still count everything *sent*, preserving their meaning.
+#[allow(clippy::too_many_arguments)] // borrow-split pieces of one Network
+fn faulty_sweep(
+    round: u64,
+    fs: &FaultState,
+    reverse: &[Vec<(usize, usize)>],
+    edge_of: &[Vec<usize>],
+    tracer: &mut Option<Tracer>,
+    stats: &mut RoundStats,
+    outgoing: &mut [Vec<Option<Message>>],
+    target: &mut [Vec<Option<Message>>],
+) {
+    let cap = fs.truncate_words();
+    let (mut dropped, mut link, mut crashed, mut truncated) = (0u64, 0u64, 0u64, 0u64);
+    {
+        let mut track = tracer.as_mut().filter(|t| t.records_edge_loads());
+        for (v, out_v) in outgoing.iter_mut().enumerate() {
+            for (p, slot) in out_v.iter_mut().enumerate() {
+                if let Some(mut msg) = slot.take() {
+                    let (u, q) = reverse[v][p];
+                    match fs.classify(round, edge_of[v][p], v, u) {
+                        FaultVerdict::Crashed => {
+                            crashed += 1;
+                            continue;
+                        }
+                        FaultVerdict::LinkDown => {
+                            link += 1;
+                            continue;
+                        }
+                        FaultVerdict::Dropped => {
+                            dropped += 1;
+                            continue;
+                        }
+                        FaultVerdict::Deliver => {}
+                    }
+                    if let Some(cap) = cap {
+                        if msg.len() > cap {
+                            msg.truncate(cap);
+                            truncated += 1;
+                        }
+                    }
+                    if let Some(t) = track.as_mut() {
+                        t.add_edge_words(edge_of[v][p], msg.len() as u64);
+                    }
+                    target[u][q] = Some(msg);
+                }
+            }
+        }
+    }
+    stats.dropped_messages += dropped + link;
+    stats.crashed_messages += crashed;
+    stats.truncated_messages += truncated;
+    if let Some(t) = tracer.as_mut() {
+        for (kind, count) in
+            [("drop", dropped), ("link", link), ("crash", crashed), ("trunc", truncated)]
+        {
+            if count > 0 {
+                t.record_fault(kind, count);
+            }
+        }
+    }
+}
+
 impl<'g> Network<'g> {
     /// Creates a network over `g` under `model`, with the execution
     /// configuration taken from the environment
@@ -314,6 +390,7 @@ impl<'g> Network<'g> {
             reverse,
             tracer: None,
             edge_of: Vec::new(),
+            faults: None,
         }
     }
 
@@ -384,6 +461,56 @@ impl<'g> Network<'g> {
         self.tracer.take()
     }
 
+    /// Installs (or clears) a fault schedule. Every subsequent delivery —
+    /// on both the `step` and the `exchange` path — consults the plan;
+    /// destroyed messages never reach an inbox and are tallied into the
+    /// [`RoundStats`] fault counters (and, when a tracer is attached, as
+    /// fault events in the trace). The plan keys its random drops by
+    /// `(round, edge)`, so a faulty execution is exactly as deterministic
+    /// and thread-count-invariant as a fault-free one.
+    ///
+    /// Installing [`FaultPlan::none`] (or any vacuous plan) is
+    /// indistinguishable from installing `None`: results and statistics
+    /// stay byte-identical to an undisturbed execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan references vertices or edges outside this
+    /// network's graph, or a drop probability outside `[0, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcg_congest::{FaultPlan, Model, Network};
+    ///
+    /// let g = lcg_graph::gen::path(3);
+    /// let mut net = Network::new(&g, Model::congest());
+    /// net.set_fault_plan(Some(FaultPlan::none().with_link_failure(0, 0, u64::MAX)));
+    /// net.step(|v, _, out| {
+    ///     if v == 0 {
+    ///         out.send(0, vec![7]); // crosses edge 0 — destroyed
+    ///     }
+    /// });
+    /// net.step(|_, inbox, _| assert!(inbox.iter().all(Option::is_none)));
+    /// assert_eq!(net.stats().dropped_messages, 1);
+    /// assert_eq!(net.stats().messages, 1); // sending is still charged
+    /// ```
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan.map(|p| {
+            if self.edge_of.is_empty() {
+                self.edge_of = (0..self.g.n())
+                    .map(|v| self.g.neighbors(v).map(|(_, e)| e).collect())
+                    .collect();
+            }
+            FaultState::compile(p, self.g.n(), self.g.m())
+        });
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan())
+    }
+
     /// The attached tracer, if any (e.g. to annotate the current span).
     pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
         self.tracer.as_mut()
@@ -410,9 +537,21 @@ impl<'g> Network<'g> {
     /// Delivers composed outboxes into `pending` by a vertex-order sweep.
     /// Pure moves — all counting already happened at the compose barrier —
     /// except per-edge load tallies when a tracer asked for them (the sweep
-    /// is vertex-ordered, hence deterministic).
+    /// is vertex-ordered, hence deterministic). With a fault plan installed
+    /// the sweep additionally adjudicates every message (see
+    /// [`faulty_sweep`]); the fault path is equally deterministic because
+    /// delivery always runs on the caller's thread in vertex order, and the
+    /// drop coins are keyed by `(round, edge)` rather than drawn from any
+    /// shared stream.
     fn deliver(&mut self, outgoing: &mut [Vec<Option<Message>>]) {
-        let Network { pending, reverse, tracer, edge_of, .. } = self;
+        // `deliver` runs before `account` increments the round counter, so
+        // `stats.rounds` is the 0-based index of the round being delivered.
+        let round = self.stats.rounds;
+        let Network { pending, reverse, tracer, edge_of, faults, stats, .. } = self;
+        if let Some(fs) = faults {
+            faulty_sweep(round, fs, reverse, edge_of, tracer, stats, outgoing, pending);
+            return;
+        }
         let mut track = tracer.as_mut().filter(|t| t.records_edge_loads());
         for (v, out_v) in outgoing.iter_mut().enumerate() {
             for (p, slot) in out_v.iter_mut().enumerate() {
@@ -626,10 +765,18 @@ impl<'g> Network<'g> {
 
     /// Moves exchange outboxes to receiver-side inboxes (vertex order;
     /// pure moves, no counting — except per-edge load tallies when a
-    /// tracer asked for them).
+    /// tracer asked for them, and fault adjudication when a plan is
+    /// installed).
     fn route_exchange(&mut self, outgoing: &mut [Vec<Option<Message>>]) -> Vec<Vec<Option<Message>>> {
         let mut inboxes = self.fresh_buffers();
-        let Network { reverse, tracer, edge_of, .. } = self;
+        // like `deliver`, routing precedes `account`, so `stats.rounds` is
+        // the 0-based index of the round in flight
+        let round = self.stats.rounds;
+        let Network { reverse, tracer, edge_of, faults, stats, .. } = self;
+        if let Some(fs) = faults {
+            faulty_sweep(round, fs, reverse, edge_of, tracer, stats, outgoing, &mut inboxes);
+            return inboxes;
+        }
         let mut track = tracer.as_mut().filter(|t| t.records_edge_loads());
         for (v, out_v) in outgoing.iter_mut().enumerate() {
             for (p, slot) in out_v.iter_mut().enumerate() {
@@ -897,7 +1044,13 @@ mod tests {
             }
         });
         net.charge_rounds(7);
-        net.charge_stats(&RoundStats { rounds: 2, messages: 5, words: 9, max_words_edge_round: 3 });
+        net.charge_stats(&RoundStats {
+            rounds: 2,
+            messages: 5,
+            words: 9,
+            max_words_edge_round: 3,
+            ..RoundStats::default()
+        });
         net.span_close(sp);
         let trace = net.take_tracer().expect("tracer attached").finish();
         let s = net.stats();
@@ -976,5 +1129,161 @@ mod tests {
         let s = net.reset_stats();
         assert_eq!(s.rounds, 1);
         assert_eq!(net.stats().rounds, 0);
+    }
+
+    /// An all-to-all flood for `rounds` rounds under `plan`, returning the
+    /// final stats and how many messages were received in the last round.
+    fn flood_under_plan(
+        g: &lcg_graph::Graph,
+        plan: Option<FaultPlan>,
+        threads: usize,
+        rounds: usize,
+    ) -> (RoundStats, Vec<u64>) {
+        let mut net = Network::with_exec(g, Model::congest(), ExecConfig::with_threads(threads));
+        net.set_fault_plan(plan);
+        let mut received: Vec<u64> = vec![0; g.n()];
+        for _ in 0..rounds {
+            net.step_state(&mut received, |me, _v, inbox, out| {
+                *me += inbox.iter().flatten().count() as u64;
+                for p in 0..out.ports() {
+                    out.send(p, vec![1, 2]);
+                }
+            });
+        }
+        (net.stats(), received)
+    }
+
+    #[test]
+    fn vacuous_plan_is_bit_identical_to_no_plan() {
+        let g = gen::grid(5, 5);
+        let (base_stats, base_recv) = flood_under_plan(&g, None, 1, 4);
+        let (vac_stats, vac_recv) = flood_under_plan(&g, Some(FaultPlan::none()), 1, 4);
+        assert_eq!(base_recv, vac_recv);
+        stats::compare(&base_stats, &vac_stats).expect("vacuous plan changed stats");
+        assert_eq!(base_stats, vac_stats);
+    }
+
+    #[test]
+    fn faulty_run_is_bit_identical_across_thread_counts() {
+        let g = gen::grid(6, 6);
+        let plan = FaultPlan::drops(0xFA07, 0.3).with_crash(7, 2).with_link_failure(3, 1, 3);
+        let (seq_stats, seq_recv) = flood_under_plan(&g, Some(plan.clone()), 1, 5);
+        assert!(seq_stats.dropped_messages > 0, "p=0.3 over 5 rounds must drop something");
+        assert!(seq_stats.crashed_messages > 0);
+        for threads in [2, 4] {
+            let (par_stats, par_recv) = flood_under_plan(&g, Some(plan.clone()), threads, 5);
+            assert_eq!(par_recv, seq_recv, "{threads}-thread faulty run diverged");
+            assert_eq!(par_stats, seq_stats);
+        }
+    }
+
+    #[test]
+    fn drops_suppress_delivery_but_not_send_accounting() {
+        let g = gen::path(2);
+        let mut net = Network::new(&g, Model::congest());
+        net.set_fault_plan(Some(FaultPlan::drops(1, 1.0)));
+        let mut got_any = false;
+        for _ in 0..5 {
+            net.step(|_, inbox, out| {
+                got_any |= inbox.iter().any(Option::is_some);
+                out.send(0, vec![1]);
+            });
+        }
+        assert!(!got_any, "p = 1.0 must destroy every message");
+        let s = net.stats();
+        assert_eq!(s.messages, 10, "sends are still charged");
+        // round 5's sends are adjudicated at delivery within round 5, so
+        // all 10 messages were dropped even though none could be *read*
+        assert_eq!(s.dropped_messages, 10);
+    }
+
+    #[test]
+    fn link_failure_interval_applies_per_round() {
+        let g = gen::path(2); // single edge 0
+        let mut net = Network::new(&g, Model::congest());
+        net.set_fault_plan(Some(FaultPlan::none().with_link_failure(0, 1, 3)));
+        let mut received = 0u64;
+        for _ in 0..5 {
+            net.step(|v, inbox, out| {
+                if v == 1 && inbox[0].is_some() {
+                    received += 1;
+                }
+                if v == 0 {
+                    out.send(0, vec![9]);
+                }
+            });
+        }
+        // rounds 0..5 all send; rounds 1 and 2 are down, and the round-4
+        // delivery has no later round to be read in
+        assert_eq!(net.stats().dropped_messages, 2);
+        assert_eq!(received, 2);
+    }
+
+    #[test]
+    fn crash_stop_kills_both_directions_on_both_paths() {
+        let g = gen::path(3); // 0 - 1 - 2
+        let mut net = Network::new(&g, Model::congest());
+        net.set_fault_plan(Some(FaultPlan::none().with_crash(1, 0)));
+        // step path: everyone sends to everyone
+        net.step(|_, _, out| {
+            for p in 0..out.ports() {
+                out.send(p, vec![1]);
+            }
+        });
+        net.step(|v, inbox, _| {
+            if v != 1 {
+                assert!(inbox.iter().all(Option::is_none), "vertex {v} heard a crashed node");
+            }
+        });
+        assert_eq!(net.stats().crashed_messages, 4);
+        // exchange path: same adjudication
+        let mut net2 = Network::new(&g, Model::congest());
+        net2.set_fault_plan(Some(FaultPlan::none().with_crash(1, 0)));
+        let mut heard = vec![false; 3];
+        net2.exchange(
+            |_, out| {
+                for p in 0..out.ports() {
+                    out.send(p, vec![1]);
+                }
+            },
+            |v, inbox| heard[v] = inbox.iter().any(Option::is_some),
+        );
+        assert_eq!(heard, vec![false, false, false]);
+        assert_eq!(net2.stats().crashed_messages, 4);
+    }
+
+    #[test]
+    fn truncation_caps_delivered_words() {
+        let g = gen::path(2);
+        let mut net = Network::new(&g, Model::Local);
+        net.set_fault_plan(Some(FaultPlan::none().with_truncation(2)));
+        net.step(|v, _, out| {
+            if v == 0 {
+                out.send(0, vec![1, 2, 3, 4, 5]);
+            }
+        });
+        let mut got = None;
+        net.step(|v, inbox, _| {
+            if v == 1 {
+                got = inbox[0].clone();
+            }
+        });
+        assert_eq!(got, Some(vec![1, 2]), "message must arrive truncated to the cap");
+        assert_eq!(net.stats().truncated_messages, 1);
+        assert_eq!(net.stats().words, 5, "send accounting sees the full message");
+    }
+
+    #[test]
+    fn fault_events_reach_the_trace() {
+        let g = gen::path(2);
+        let mut net = Network::new(&g, Model::congest());
+        net.attach_tracer(lcg_trace::Tracer::new(lcg_trace::TraceConfig::full("t")));
+        net.set_fault_plan(Some(FaultPlan::none().with_link_failure(0, 0, u64::MAX)));
+        net.step(|_, _, out| out.send(0, vec![1]));
+        let trace = net.take_tracer().expect("tracer attached").finish();
+        assert_eq!(trace.faults.len(), 1);
+        assert_eq!(trace.faults[0].kind, "link");
+        assert_eq!(trace.faults[0].count, 2);
+        assert_eq!(trace.faults[0].round, 0);
     }
 }

@@ -7,13 +7,14 @@
 //! globally distinct labels — scores at least `γ(G) − ε'·|E| ≥ (1−ε)·γ(G)`
 //! because `γ(G) ≥ |E|/2`.
 
-use lcg_congest::RoundStats;
+use lcg_congest::{FaultPlan, RoundStats};
 use lcg_graph::Graph;
 use lcg_solvers::corrclust;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::framework::{run_framework, FrameworkConfig, FrameworkOutcome};
+use crate::recovery::{run_framework_resilient, RecoveryPolicy, RecoveryReport};
 
 /// Result of the distributed correlation clustering.
 #[derive(Debug, Clone)]
@@ -47,16 +48,54 @@ pub fn approx_correlation_clustering(
     exact_limit: usize,
 ) -> CorrClustOutcome {
     assert!(g.is_labeled(), "correlation clustering needs edge labels");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0FFEE);
-    // ε' = ε / 2, exactly as §3.3 (γ(G) ≥ |E|/2); the framework's own
-    // density scaling is bypassed because the ε/2 charge is against |E|.
+    let _ = density_bound; // class constant only affects round bounds
+    let framework = run_framework(g, &corrclust_config(epsilon, seed));
+    finish_from_framework(g, framework, seed, exact_limit)
+}
+
+/// [`approx_correlation_clustering`] under a fault schedule through the
+/// self-healing harness. Any labeling is a *valid* clustering — the score
+/// is what degradation costs — so the resilient pipeline is the retry
+/// harness plus the unchanged per-cluster solve.
+///
+/// # Panics
+///
+/// Panics if `g` carries no correlation labels.
+pub fn approx_correlation_clustering_resilient(
+    g: &Graph,
+    epsilon: f64,
+    seed: u64,
+    exact_limit: usize,
+    faults: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> (CorrClustOutcome, RecoveryReport) {
+    assert!(g.is_labeled(), "correlation clustering needs edge labels");
     let cfg = FrameworkConfig {
+        faults: Some(faults.clone()),
+        ..corrclust_config(epsilon, seed)
+    };
+    let (framework, report) = run_framework_resilient(g, &cfg, policy);
+    (finish_from_framework(g, framework, seed, exact_limit), report)
+}
+
+/// The §3.3 configuration: `ε' = ε/2` (γ(G) ≥ |E|/2); the framework's own
+/// density scaling is bypassed because the ε/2 charge is against |E|.
+fn corrclust_config(epsilon: f64, seed: u64) -> FrameworkConfig {
+    FrameworkConfig {
         density_bound: 1.0,
         ..FrameworkConfig::planar((epsilon / 2.0).min(0.9), seed)
-    };
-    let _ = density_bound; // class constant only affects round bounds
-    let framework = run_framework(g, &cfg);
+    }
+}
 
+/// Per-cluster solve + global relabeling, shared by the plain and
+/// resilient entry points.
+fn finish_from_framework(
+    g: &Graph,
+    framework: FrameworkOutcome,
+    seed: u64,
+    exact_limit: usize,
+) -> CorrClustOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0FFEE);
     let mut clustering = vec![0usize; g.n()];
     let mut next_label = 0usize;
     let mut all_optimal = true;
@@ -139,6 +178,28 @@ mod tests {
             out.score,
             g.m()
         );
+    }
+
+    #[test]
+    fn resilient_clustering_is_well_formed_under_drops() {
+        use crate::recovery::RecoveryPolicy;
+        use lcg_congest::FaultPlan;
+        let mut rng = gen::seeded_rng(273);
+        let g = gen::random_labels(gen::random_planar(50, 0.5, &mut rng), 0.6, &mut rng);
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            initial_walk_steps: 2_000,
+        };
+        let (out, _report) = approx_correlation_clustering_resilient(
+            &g,
+            0.3,
+            1,
+            18,
+            &FaultPlan::drops(0xCC, 0.7),
+            &policy,
+        );
+        assert_eq!(out.clustering.len(), g.n());
+        assert_eq!(out.score, score(&g, &out.clustering));
     }
 
     #[test]

@@ -7,11 +7,12 @@
 //! one endpoint (the set `Z`, `|Z| ≤ ε'·n`). Since `α(G) ≥ n/(2d+1)` on
 //! density-d graphs, `|I ∖ Z| ≥ (1 − ε)·α(G)`.
 
-use lcg_congest::RoundStats;
+use lcg_congest::{FaultPlan, RoundStats};
 use lcg_graph::Graph;
 use lcg_solvers::mis;
 
 use crate::framework::{run_framework, FrameworkConfig, FrameworkOutcome};
+use crate::recovery::{run_framework_resilient, RecoveryPolicy, RecoveryReport};
 
 /// Result of the distributed (1−ε)-MAXIS algorithm.
 #[derive(Debug, Clone)]
@@ -41,16 +42,69 @@ pub fn approx_maximum_independent_set(
     seed: u64,
     mis_budget: u64,
 ) -> MaxisOutcome {
-    // ε' = ε / (2d + 1), exactly as §3.1
-    let eps_prime = epsilon / (2.0 * density_bound + 1.0);
+    let framework = run_framework(g, &maxis_config(epsilon, density_bound, seed));
+    finish_from_framework(g, framework, mis_budget)
+}
+
+/// [`approx_maximum_independent_set`] under a fault schedule, through the
+/// self-healing harness: the framework retries per `policy` (degrading to
+/// singleton clusters when exhausted), and the solution is completed to a
+/// *maximal* independent set by one deterministic greedy round — so the
+/// output is independent **and** maximal under any fault schedule, at the
+/// price of the (1−ε) guarantee when the run degraded.
+pub fn approx_maximum_independent_set_resilient(
+    g: &Graph,
+    epsilon: f64,
+    density_bound: f64,
+    seed: u64,
+    mis_budget: u64,
+    faults: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> (MaxisOutcome, RecoveryReport) {
     let cfg = FrameworkConfig {
+        faults: Some(faults.clone()),
+        ..maxis_config(epsilon, density_bound, seed)
+    };
+    let (framework, report) = run_framework_resilient(g, &cfg, policy);
+    let mut out = finish_from_framework(g, framework, mis_budget);
+    // Greedy completion to maximality (conflict resolution can leave
+    // uncovered vertices next to cut edges, and a degraded run certainly
+    // does): every vertex with no chosen neighbor joins, in id order.
+    // Charged one membership-comparison round, like the conflict round.
+    let mut in_set = vec![false; g.n()];
+    for &v in &out.set {
+        in_set[v] = true;
+    }
+    let mut grew = false;
+    for v in 0..g.n() {
+        if !in_set[v] && g.neighbor_vertices(v).all(|u| !in_set[u]) {
+            in_set[v] = true;
+            grew = true;
+        }
+    }
+    if grew {
+        out.set = (0..g.n()).filter(|&v| in_set[v]).collect();
+    }
+    out.stats.rounds += 1;
+    debug_assert!(mis::is_maximal_independent_set(g, &out.set));
+    (out, report)
+}
+
+/// The §3.1 configuration: `ε' = ε / (2d + 1)`, density scaling bypassed
+/// because ε' is already fully scaled.
+fn maxis_config(epsilon: f64, density_bound: f64, seed: u64) -> FrameworkConfig {
+    let eps_prime = epsilon / (2.0 * density_bound + 1.0);
+    FrameworkConfig {
         // the framework divides by the density bound itself; we already
         // scaled, so pass t = 1 to use ε' as-is for the decomposition
         density_bound: 1.0,
         ..FrameworkConfig::planar(eps_prime, seed)
-    };
-    let framework = run_framework(g, &cfg);
+    }
+}
 
+/// Per-cluster solve + conflict resolution, shared by the plain and
+/// resilient entry points.
+fn finish_from_framework(g: &Graph, framework: FrameworkOutcome, mis_budget: u64) -> MaxisOutcome {
     // Each leader solves its cluster exactly: tree-decomposition DP when
     // the cluster has small treewidth (k-tree families), branch-and-bound
     // otherwise.
@@ -129,6 +183,43 @@ mod tests {
         let g = gen::stacked_triangulation(200, &mut rng);
         let out = approx_maximum_independent_set(&g, 0.3, 3.0, 2, 10_000_000);
         assert!(out.removed_conflicts <= out.framework.cut_edges());
+    }
+
+    #[test]
+    fn resilient_output_is_maximal_even_under_blackout() {
+        use crate::recovery::RecoveryPolicy;
+        use lcg_congest::FaultPlan;
+        let mut rng = gen::seeded_rng(244);
+        let g = gen::random_planar(70, 0.5, &mut rng);
+        // fault-free plan: behaves like the plain pipeline + completion
+        let (out, report) = approx_maximum_independent_set_resilient(
+            &g,
+            0.3,
+            3.0,
+            1,
+            10_000_000,
+            &FaultPlan::none(),
+            &RecoveryPolicy::default_budget(),
+        );
+        assert!(!report.degraded);
+        assert!(lcg_solvers::mis::is_maximal_independent_set(&g, &out.set));
+        // total blackout: degraded, but still maximal-independent
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            initial_walk_steps: 1_000,
+        };
+        let (out, report) = approx_maximum_independent_set_resilient(
+            &g,
+            0.3,
+            3.0,
+            1,
+            10_000_000,
+            &FaultPlan::drops(9, 1.0),
+            &policy,
+        );
+        assert!(report.degraded);
+        assert!(lcg_solvers::mis::is_maximal_independent_set(&g, &out.set));
+        assert!(out.stats.dropped_messages > 0);
     }
 
     #[test]

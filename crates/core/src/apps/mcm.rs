@@ -7,11 +7,12 @@
 //! matching of its cluster with Edmonds' blossom algorithm, and output the
 //! union — matchings of disjoint clusters never conflict.
 
-use lcg_congest::{Model, Network, RoundStats};
+use lcg_congest::{FaultPlan, Model, Network, RoundStats};
 use lcg_graph::Graph;
 use lcg_solvers::matching;
 
 use crate::framework::{run_framework, FrameworkConfig, FrameworkOutcome};
+use crate::recovery::{run_framework_resilient, RecoveryPolicy, RecoveryReport};
 
 /// The §3.2 token protocol, run with real messages: degree-1 vertices send
 /// a token to their neighbor, who bounces all but one back (2-stars);
@@ -23,8 +24,27 @@ use crate::framework::{run_framework, FrameworkConfig, FrameworkOutcome};
 /// [`lcg_solvers::star_elim::star_elimination`] in *which* twin survives, but both are
 /// star-free kernels with the same maximum-matching size.
 pub fn distributed_star_elimination(g: &Graph) -> (Vec<bool>, RoundStats) {
+    star_elimination_core(g, None)
+}
+
+/// [`distributed_star_elimination`] under a fault schedule. Dropped
+/// tokens stall the protocol — a pendant whose token is lost is never
+/// bounced, a bounce that is lost leaves a twin alive — so the result may
+/// *not* be star-free; it is still a vertex-induced kernel with
+/// `ν(kernel) ≤ ν(G)`, and every pass strictly shrinks `kept` or
+/// terminates, so the fixpoint loop always exits. The resilient matching
+/// pipeline tolerates the residual stars (they only dilute the ratio).
+pub fn distributed_star_elimination_faulty(
+    g: &Graph,
+    faults: &FaultPlan,
+) -> (Vec<bool>, RoundStats) {
+    star_elimination_core(g, Some(faults))
+}
+
+fn star_elimination_core(g: &Graph, faults: Option<&FaultPlan>) -> (Vec<bool>, RoundStats) {
     let n = g.n();
     let mut net = Network::new(g, Model::congest());
+    net.set_fault_plan(faults.cloned());
     let nbrs: Vec<Vec<usize>> = (0..n).map(|v| g.neighbor_vertices(v).collect()).collect();
     let mut kept = vec![true; n];
     loop {
@@ -203,8 +223,133 @@ pub fn approx_maximum_matching(g: &Graph, epsilon: f64, seed: u64) -> McmOutcome
     let framework = run_framework(&kernel, &cfg);
     stats.merge(&framework.stats);
 
-    // Leaders: exact blossom matching per cluster; union over clusters.
-    let mut mate: Vec<Option<usize>> = vec![None; g.n()];
+    let (mate, size) = matching_from_framework(g.n(), &kernel_map, &framework);
+    McmOutcome {
+        mate,
+        size,
+        eliminated,
+        elimination_passes: elim_passes,
+        stats,
+        framework,
+    }
+}
+
+/// [`approx_maximum_matching`] under a fault schedule: faulty star
+/// elimination (residual stars tolerated), the self-healing framework on
+/// the kernel, and one deterministic greedy completion round so a
+/// degraded run still returns a *maximal* matching instead of an empty
+/// one. The output is a valid matching of `g` under any fault schedule;
+/// the (1−ε) ratio is what degradation costs.
+pub fn approx_maximum_matching_resilient(
+    g: &Graph,
+    epsilon: f64,
+    seed: u64,
+    faults: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> (McmOutcome, RecoveryReport) {
+    let (kept, elim_stats) = distributed_star_elimination_faulty(g, faults);
+    let survivors: Vec<usize> = (0..g.n()).filter(|&v| kept[v]).collect();
+    let eliminated = g.n() - survivors.len();
+    let (kernel, kernel_map) = g.induced_subgraph(&survivors);
+    let elim_passes = (elim_stats.rounds / 4).max(1) as usize;
+
+    let mut stats = RoundStats::default();
+    stats.merge(&elim_stats);
+
+    let eps_prime = (epsilon / C31).min(0.9);
+    // empty kernel: the framework record runs on g (as in the plain path)
+    let (framework, report) = if kernel.n() == 0 {
+        let cfg = FrameworkConfig {
+            density_bound: 1.0,
+            faults: Some(faults.clone()),
+            ..FrameworkConfig::planar(eps_prime, seed)
+        };
+        run_framework_resilient(g, &cfg, policy)
+    } else {
+        // the physical faults live on host ids; translate them onto the
+        // kernel's vertex/edge numbering before handing them down
+        let cfg = FrameworkConfig {
+            density_bound: 1.0,
+            faults: Some(restrict_plan_to_kernel(faults, g, &kernel, &kernel_map)),
+            ..FrameworkConfig::planar(eps_prime, seed)
+        };
+        run_framework_resilient(&kernel, &cfg, policy)
+    };
+    stats.merge(&framework.stats);
+
+    let (mut mate, _) = if kernel.n() == 0 {
+        (vec![None; g.n()], 0)
+    } else {
+        matching_from_framework(g.n(), &kernel_map, &framework)
+    };
+    // Greedy completion: both-unmatched endpoints pair up, in edge-id
+    // order. Charged one proposal round, like the star-elimination passes.
+    for (_, u, v) in g.edges() {
+        if mate[u].is_none() && mate[v].is_none() && u != v {
+            mate[u] = Some(v);
+            mate[v] = Some(u);
+        }
+    }
+    stats.rounds += 1;
+    let size = mate.iter().flatten().count() / 2;
+    let out = McmOutcome {
+        mate,
+        size,
+        eliminated,
+        elimination_passes: elim_passes,
+        stats,
+        framework,
+    };
+    debug_assert!(is_valid(g, &out));
+    (out, report)
+}
+
+/// Translates a host-graph fault plan onto the kernel's numbering: the
+/// i.i.d. drop stream and truncation carry over unchanged (re-keyed by
+/// kernel edge ids), crashes of eliminated vertices and failures of
+/// edges with an eliminated endpoint are discarded — those nodes and
+/// links carry no kernel traffic to fault.
+fn restrict_plan_to_kernel(
+    plan: &FaultPlan,
+    g: &Graph,
+    kernel: &Graph,
+    kernel_map: &[usize],
+) -> FaultPlan {
+    let mut host_to_kernel = vec![usize::MAX; g.n()];
+    for (k, &h) in kernel_map.iter().enumerate() {
+        host_to_kernel[h] = k;
+    }
+    let mut out = FaultPlan::drops(plan.seed, plan.drop_prob);
+    if let Some(w) = plan.truncate_words {
+        out = out.with_truncation(w);
+    }
+    for c in &plan.crashes {
+        let k = host_to_kernel[c.node];
+        if k != usize::MAX {
+            out = out.with_crash(k, c.at_round);
+        }
+    }
+    for lf in &plan.link_failures {
+        let (u, v) = g.endpoints(lf.edge);
+        let (ku, kv) = (host_to_kernel[u], host_to_kernel[v]);
+        if ku != usize::MAX && kv != usize::MAX {
+            if let Some(e) = kernel.edge_id(ku, kv) {
+                out = out.with_link_failure(e, lf.from_round, lf.until_round);
+            }
+        }
+    }
+    out
+}
+
+/// Leaders' exact blossom matchings, united over clusters and translated
+/// back to original vertex ids (matchings of disjoint clusters never
+/// conflict). Shared by the plain and resilient entry points.
+fn matching_from_framework(
+    n: usize,
+    kernel_map: &[usize],
+    framework: &FrameworkOutcome,
+) -> (Vec<Option<usize>>, usize) {
+    let mut mate: Vec<Option<usize>> = vec![None; n];
     for c in &framework.clusters {
         let m = matching::maximum_matching(&c.subgraph);
         for (local, &partner) in m.mate.iter().enumerate() {
@@ -216,14 +361,7 @@ pub fn approx_maximum_matching(g: &Graph, epsilon: f64, seed: u64) -> McmOutcome
         }
     }
     let size = mate.iter().flatten().count() / 2;
-    McmOutcome {
-        mate,
-        size,
-        eliminated,
-        elimination_passes: elim_passes,
-        stats,
-        framework,
-    }
+    (mate, size)
 }
 
 /// Validity check over the original graph.
@@ -320,6 +458,30 @@ mod tests {
                 seq.survivors().len(),
                 members.len(),
                 "kernel sizes diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn resilient_matching_is_valid_and_maximal_under_crashes() {
+        use crate::recovery::RecoveryPolicy;
+        use lcg_congest::FaultPlan;
+        let mut rng = gen::seeded_rng(254);
+        let g = gen::random_planar(80, 0.5, &mut rng);
+        let plan = FaultPlan::drops(0x3C, 0.5)
+            .with_crash(g.n() - 1, 0)
+            .with_link_failure(0, 0, u64::MAX);
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            initial_walk_steps: 2_000,
+        };
+        let (out, _report) = approx_maximum_matching_resilient(&g, 0.4, 3, &plan, &policy);
+        assert!(is_valid(&g, &out));
+        // greedy completion ⇒ maximal: no edge with both endpoints free
+        for (_, u, v) in g.edges() {
+            assert!(
+                out.mate[u].is_some() || out.mate[v].is_some(),
+                "edge ({u},{v}) has two unmatched endpoints"
             );
         }
     }

@@ -18,11 +18,12 @@
 //! a Lemma-3.1-style kernelization would be required, as the paper notes
 //! for matching).
 
-use lcg_congest::RoundStats;
+use lcg_congest::{FaultPlan, RoundStats};
 use lcg_graph::Graph;
 use lcg_solvers::mds;
 
 use crate::framework::{run_framework, FrameworkConfig, FrameworkOutcome};
+use crate::recovery::{run_framework_resilient, RecoveryPolicy, RecoveryReport};
 
 /// Result of the distributed (1+ε)-MDS extension.
 #[derive(Debug, Clone)]
@@ -47,14 +48,44 @@ pub fn approx_minimum_dominating_set(
     seed: u64,
     mds_budget: u64,
 ) -> MdsOutcome {
+    let framework = run_framework(g, &mds_config(g, epsilon, seed));
+    finish_from_framework(g, framework, mds_budget)
+}
+
+/// [`approx_minimum_dominating_set`] under a fault schedule through the
+/// self-healing harness. Domination is preserved unconditionally: every
+/// vertex is dominated *within its own cluster* — in the degraded
+/// singleton clustering each vertex simply dominates itself — so no
+/// completion pass is needed, only the (1+ε) guarantee is at stake.
+pub fn approx_minimum_dominating_set_resilient(
+    g: &Graph,
+    epsilon: f64,
+    seed: u64,
+    mds_budget: u64,
+    faults: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> (MdsOutcome, RecoveryReport) {
+    let cfg = FrameworkConfig {
+        faults: Some(faults.clone()),
+        ..mds_config(g, epsilon, seed)
+    };
+    let (framework, report) = run_framework_resilient(g, &cfg, policy);
+    (finish_from_framework(g, framework, mds_budget), report)
+}
+
+fn mds_config(g: &Graph, epsilon: f64, seed: u64) -> FrameworkConfig {
     let delta = g.max_degree().max(1);
     // ε' = ε / (Δ + 1): |E^r| ≤ ε'·n ≤ ε·γ(G)
     let eps_prime = (epsilon / (delta + 1) as f64).min(0.9);
-    let cfg = FrameworkConfig {
+    FrameworkConfig {
         density_bound: 1.0, // already fully scaled
         ..FrameworkConfig::planar(eps_prime, seed)
-    };
-    let framework = run_framework(g, &cfg);
+    }
+}
+
+/// Per-cluster solve + union, shared by the plain and resilient entry
+/// points.
+fn finish_from_framework(g: &Graph, framework: FrameworkOutcome, mds_budget: u64) -> MdsOutcome {
     let mut in_set = vec![false; g.n()];
     let mut all_optimal = true;
     for c in &framework.clusters {
@@ -110,6 +141,27 @@ mod tests {
                 opt.set.len()
             );
         }
+    }
+
+    #[test]
+    fn resilient_output_dominates_under_blackout() {
+        use crate::recovery::RecoveryPolicy;
+        use lcg_congest::FaultPlan;
+        let g = gen::grid(6, 6);
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            initial_walk_steps: 1_000,
+        };
+        let (out, report) = approx_minimum_dominating_set_resilient(
+            &g,
+            0.5,
+            3,
+            1_000_000,
+            &FaultPlan::drops(4, 1.0),
+            &policy,
+        );
+        assert!(report.degraded);
+        assert!(is_dominating_set(&g, &out.set));
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //! the realized ratio in the experiments (it is ≥ 1−ε throughout E13's
 //! workloads).
 
-use lcg_congest::RoundStats;
+use lcg_congest::{FaultPlan, RoundStats};
 use lcg_graph::Graph;
 use lcg_solvers::wmis;
 
 use crate::framework::{run_framework, FrameworkConfig, FrameworkOutcome};
+use crate::recovery::{run_framework_resilient, RecoveryPolicy, RecoveryReport};
 
 /// Result of the weighted MAXIS extension.
 #[derive(Debug, Clone)]
@@ -57,6 +58,70 @@ pub fn approx_maximum_weight_independent_set(
         ..FrameworkConfig::planar(eps_prime, seed)
     };
     let framework = run_framework(g, &cfg);
+    finish_from_framework(g, weights, framework, budget)
+}
+
+/// [`approx_maximum_weight_independent_set`] under a fault schedule: the
+/// framework retries per `policy` (degrading to singleton clusters when
+/// exhausted) and the set is completed to maximality by one deterministic
+/// greedy round — heavier-first, so the completion never wastes weight on
+/// a vertex whose heavier neighbor is also free.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != g.n()`.
+#[allow(clippy::too_many_arguments)] // mirrors the plain entry point + harness knobs
+pub fn approx_maximum_weight_independent_set_resilient(
+    g: &Graph,
+    weights: &[u64],
+    epsilon: f64,
+    density_bound: f64,
+    seed: u64,
+    budget: u64,
+    faults: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> (WmaxisOutcome, RecoveryReport) {
+    assert_eq!(weights.len(), g.n(), "one weight per vertex");
+    let eps_prime = epsilon / (2.0 * density_bound + 1.0);
+    let cfg = FrameworkConfig {
+        density_bound: 1.0,
+        faults: Some(faults.clone()),
+        ..FrameworkConfig::planar(eps_prime, seed)
+    };
+    let (framework, report) = run_framework_resilient(g, &cfg, policy);
+    let mut out = finish_from_framework(g, weights, framework, budget);
+    // Greedy completion to maximality, heavier (then lower-id) first.
+    // Charged one membership-comparison round.
+    let mut in_set = vec![false; g.n()];
+    for &v in &out.set {
+        in_set[v] = true;
+    }
+    let mut order: Vec<usize> = (0..g.n()).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(weights[v]), v));
+    let mut grew = false;
+    for v in order {
+        if !in_set[v] && g.neighbor_vertices(v).all(|u| !in_set[u]) {
+            in_set[v] = true;
+            grew = true;
+        }
+    }
+    if grew {
+        out.set = (0..g.n()).filter(|&v| in_set[v]).collect();
+        out.weight = out.set.iter().map(|&v| weights[v]).sum();
+    }
+    out.stats.rounds += 1;
+    debug_assert!(lcg_solvers::mis::is_maximal_independent_set(g, &out.set));
+    (out, report)
+}
+
+/// Per-cluster solve + weight-aware conflict resolution, shared by the
+/// plain and resilient entry points.
+fn finish_from_framework(
+    g: &Graph,
+    weights: &[u64],
+    framework: FrameworkOutcome,
+    budget: u64,
+) -> WmaxisOutcome {
     let mut in_set = vec![false; g.n()];
     let mut all_optimal = true;
     for c in &framework.clusters {
@@ -137,6 +202,31 @@ mod tests {
                 opt.weight
             );
         }
+    }
+
+    #[test]
+    fn resilient_output_is_maximal_under_heavy_drops() {
+        use crate::recovery::RecoveryPolicy;
+        use lcg_congest::FaultPlan;
+        let mut rng = gen::seeded_rng(333);
+        let g = gen::random_planar(60, 0.5, &mut rng);
+        let w: Vec<u64> = (0..60).map(|_| rng.gen_range(1..=40)).collect();
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            initial_walk_steps: 2_000,
+        };
+        let (out, _report) = approx_maximum_weight_independent_set_resilient(
+            &g,
+            &w,
+            0.3,
+            3.0,
+            2,
+            50_000_000,
+            &FaultPlan::drops(0xBEEF, 0.8),
+            &policy,
+        );
+        assert!(lcg_solvers::mis::is_maximal_independent_set(&g, &out.set));
+        assert_eq!(out.weight, out.set.iter().map(|&v| w[v]).sum::<u64>());
     }
 
     #[test]

@@ -17,11 +17,12 @@
 //! * a failed routing execution is detected by reversing it
 //!   ([`routing_failure_detected`]).
 
-use lcg_congest::{Model, Network};
+use lcg_congest::Network;
 use lcg_graph::Graph;
 
 /// Resets every marked vertex to its own singleton cluster; returns the
 /// renumbered clustering (cluster ids stay distinct from survivors').
+#[must_use = "the repaired clustering replaces the caller's, it does not mutate it"]
 pub fn singleton_fallback(cluster_of: &[usize], marked: &[bool]) -> Vec<usize> {
     let n = cluster_of.len();
     let max_id = cluster_of.iter().copied().max().unwrap_or(0);
@@ -30,19 +31,28 @@ pub fn singleton_fallback(cluster_of: &[usize], marked: &[bool]) -> Vec<usize> {
         .collect()
 }
 
-/// Runs the §2.3 diameter-check protocol on `g` with bound `b` and
-/// dissolves every over-diameter cluster into singletons. Returns the
-/// repaired clustering and the number of rounds used.
-pub fn enforce_diameter(g: &Graph, cluster_of: &[usize], b: usize) -> (Vec<usize>, u64) {
-    let mut net = Network::new(g, Model::congest());
-    let marked = lcg_congest::primitives::diameter_check(&mut net, cluster_of, b);
-    (singleton_fallback(cluster_of, &marked), net.stats().rounds)
+/// Runs the §2.3 diameter-check protocol on `net` with bound `b` and
+/// dissolves every over-diameter cluster into singletons, returning the
+/// repaired clustering.
+///
+/// The check executes on the **caller's network**: its rounds accrue to
+/// the caller's [`lcg_congest::RoundStats`], its traffic lands in the
+/// caller's trace, and it runs under the caller's `ExecConfig` — the
+/// repair protocol is part of the execution it repairs, not a free
+/// out-of-band oracle. (An earlier version built a private default
+/// `Network` internally, silently discarding the caller's thread
+/// configuration and tracer.)
+#[must_use = "the repaired clustering replaces the caller's, it does not mutate it"]
+pub fn enforce_diameter(net: &mut Network, cluster_of: &[usize], b: usize) -> Vec<usize> {
+    let marked = lcg_congest::primitives::diameter_check(net, cluster_of, b);
+    singleton_fallback(cluster_of, &marked)
 }
 
 /// Lemma 2.3's condition, checkable in `O(φ^{-1} log n)` rounds once the
 /// leader is known: `deg_{G_i}(v_i*) ≥ c · φ² · |E_i|`.
 ///
 /// Returns `true` if the condition holds for constant `c`.
+#[must_use = "a dropped verdict silently accepts a failed cluster"]
 pub fn degree_condition(g: &Graph, members: &[usize], leader: usize, phi: f64, c: f64) -> bool {
     let member_set: std::collections::HashSet<usize> = members.iter().copied().collect();
     let leader_deg = g
@@ -61,6 +71,7 @@ pub fn degree_condition(g: &Graph, members: &[usize], leader: usize, phi: f64, c
 /// does not match reports failure. In the simulation the check reduces to
 /// comparing delivered/total; the round cost of the reversal equals the
 /// forward routing cost and must be charged by the caller.
+#[must_use = "a dropped verdict silently accepts a failed routing"]
 pub fn routing_failure_detected(outcome: &lcg_expander::routing::RoutingOutcome) -> bool {
     !outcome.complete()
 }
@@ -83,24 +94,49 @@ mod tests {
 
     #[test]
     fn enforce_diameter_dissolves_long_cluster() {
+        use lcg_congest::Model;
         let g = gen::path(40);
         // sabotage: one giant cluster with diameter 39, bound b = 3
         let cluster_of = vec![7usize; 40];
-        let (fixed, rounds) = enforce_diameter(&g, &cluster_of, 3);
+        let mut net = Network::new(&g, Model::congest());
+        let fixed = enforce_diameter(&mut net, &cluster_of, 3);
         // every vertex became a singleton
         let mut ids = fixed.clone();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 40);
-        assert!(rounds > 0);
+        assert!(net.stats().rounds > 0, "check rounds accrue to the caller's network");
     }
 
     #[test]
     fn enforce_diameter_keeps_valid_clusters() {
+        use lcg_congest::Model;
         let g = gen::grid(4, 4); // diameter 6
         let cluster_of = vec![0usize; 16];
-        let (fixed, _) = enforce_diameter(&g, &cluster_of, 6);
+        let mut net = Network::new(&g, Model::congest());
+        let fixed = enforce_diameter(&mut net, &cluster_of, 6);
         assert!(fixed.iter().all(|&c| c == 0));
+    }
+
+    /// The check is charged to the network it is handed: stats accumulate
+    /// on top of whatever the caller already spent, and an attached tracer
+    /// sees the protocol's rounds (the bug this API replaced lost both).
+    #[test]
+    fn enforce_diameter_charges_the_callers_network() {
+        use lcg_congest::Model;
+        let g = gen::path(20);
+        let cluster_of = vec![0usize; 20];
+        let mut net = Network::new(&g, Model::congest());
+        net.attach_tracer(lcg_trace::Tracer::new(lcg_trace::TraceConfig::spans_only("repair")));
+        net.charge_rounds(5); // pre-existing spending
+        let sp = net.span_open("diameter-check");
+        let _fixed = enforce_diameter(&mut net, &cluster_of, 4);
+        net.span_close(sp);
+        let check_rounds = net.stats().rounds - 5;
+        assert!(check_rounds > 0);
+        let trace = net.take_tracer().expect("tracer attached").finish();
+        assert_eq!(trace.span_rounds("diameter-check"), check_rounds);
+        assert_eq!(trace.total.rounds, net.stats().rounds);
     }
 
     #[test]

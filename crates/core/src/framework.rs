@@ -23,7 +23,7 @@
 //!    of rounds as gathering.
 
 use lcg_congest::primitives::{self, Scope};
-use lcg_congest::{ExecConfig, Model, Network, RoundStats};
+use lcg_congest::{ExecConfig, FaultPlan, Model, Network, RoundStats};
 use lcg_expander::decomp::{self, ExpanderDecomposition};
 use lcg_expander::routing;
 use lcg_graph::Graph;
@@ -70,6 +70,15 @@ pub struct FrameworkConfig {
     pub trace: bool,
     /// Hotspot edges kept in the trace (ignored unless `trace`).
     pub trace_top_k: usize,
+    /// Fault schedule injected into every communicating phase (election,
+    /// orientation, gathering — both the charged-walk and message-faithful
+    /// routers). `None` (the default) and [`FaultPlan::is_vacuous`] plans
+    /// are bit-identical to the fault-free engine. Under active faults the
+    /// run still terminates and reports honestly — elections may disagree
+    /// ([`ClusterRun::election_agrees`]), routing may be incomplete — and
+    /// the §2.3 detectors plus [`crate::recovery::run_framework_resilient`]
+    /// turn those reports into retries.
+    pub faults: Option<FaultPlan>,
 }
 
 impl FrameworkConfig {
@@ -86,6 +95,7 @@ impl FrameworkConfig {
             exec: ExecConfig::from_env(),
             trace: false,
             trace_top_k: 10,
+            faults: None,
         }
     }
 
@@ -111,6 +121,12 @@ pub struct ClusterRun {
     pub subgraph: Graph,
     /// `mapping[local] = host` vertex translation.
     pub mapping: Vec<usize>,
+    /// Did the max-degree flood elect this leader at *every* member?
+    /// Always `true` in a fault-free run (asserted in debug builds); under
+    /// an active [`FrameworkConfig::faults`] plan, dropped flood messages
+    /// can leave members with a stale candidate — the §2.3 detectors treat
+    /// `false` as a failed execution.
+    pub election_agrees: bool,
     /// Gathering statistics for this cluster.
     pub routing: routing::RoutingOutcome,
 }
@@ -188,6 +204,11 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
     } else {
         TraceConfig::spans_only("framework")
     }));
+    net.set_fault_plan(cfg.faults.clone());
+    // A vacuous plan exercises the fault-adjudicating delivery sweep but
+    // changes nothing (bit-verified in lcg-congest); only an *active* plan
+    // relaxes the fault-free invariants below.
+    let faults_active = cfg.faults.as_ref().is_some_and(|f| !f.is_vacuous());
     let cluster_of = decomposition.cluster_of.clone();
 
     // Phase 2: leader election. b = max cluster diameter (each G[V_i] has
@@ -247,8 +268,14 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
             .copied()
             .max_by_key(|&v| (degrees[v], v))
             .expect("decomposition clusters are non-empty");
-        // sanity: the flood elected the same leader everywhere in cluster
-        debug_assert!(mapping.iter().all(|&v| elected[v].1 == leader));
+        // sanity: the flood elects the same leader everywhere — unless an
+        // active fault plan dropped flood messages, in which case the
+        // disagreement is *recorded* for the §2.3 detectors, not asserted.
+        let election_agrees = mapping.iter().all(|&v| elected[v].1 == leader);
+        debug_assert!(
+            faults_active || election_agrees,
+            "fault-free election must agree on the max-degree leader"
+        );
         let counts: Vec<usize> = mapping.iter().map(|&v| 1 + out_deg[v]).collect();
         let routing_outcome = if sub.n() <= 1 {
             routing::RoutingOutcome {
@@ -269,6 +296,9 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
                 // loads merge 1:1 into the main tracer's table
                 cluster_net.attach_tracer(Tracer::new(TraceConfig::hotspots_only("cluster")));
             }
+            // same host graph, same edge ids: the fault schedule applies
+            // to the cluster's traffic exactly as it would on the host
+            cluster_net.set_fault_plan(cfg.faults.clone());
             let (outcome, rstats) = routing::network_walk_routing_with_counts(
                 &mut cluster_net,
                 &mapping,
@@ -286,6 +316,33 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
             faithful_traffic.words += rstats.words;
             faithful_traffic.max_words_edge_round =
                 faithful_traffic.max_words_edge_round.max(rstats.max_words_edge_round);
+            faithful_traffic.dropped_messages += rstats.dropped_messages;
+            faithful_traffic.crashed_messages += rstats.crashed_messages;
+            faithful_traffic.truncated_messages += rstats.truncated_messages;
+            outcome
+        } else if faults_active {
+            // charged walk with per-crossing fault adjudication (killed
+            // tokens consumed their bandwidth; the outcome honestly
+            // reports the shortfall for the §2.3 reversal detector)
+            let plan = cfg.faults.as_ref().expect("faults_active implies a plan");
+            let (outcome, loads) = routing::random_walk_routing_with_counts_faulty(
+                g,
+                &mapping,
+                leader,
+                &counts,
+                cfg.max_walk_steps,
+                &mut rng,
+                cfg.exec,
+                plan,
+                cfg.trace,
+            );
+            if cfg.trace {
+                if let Some(t) = net.tracer_mut() {
+                    for (e, w) in loads {
+                        t.add_edge_words(e, w);
+                    }
+                }
+            }
             outcome
         } else if cfg.trace {
             // identical walk (same single rng draw, same trajectory) that
@@ -339,6 +396,7 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
             leader,
             subgraph: sub,
             mapping,
+            election_agrees,
             routing: routing_outcome,
         });
     }
@@ -551,6 +609,87 @@ mod tests {
         // spans-only runs allocate nothing per round
         assert!(plain.trace.series.is_empty());
         assert!(plain.trace.hotspots.is_empty());
+    }
+
+    /// `faults: Some(FaultPlan::none())` exercises the fault-adjudicating
+    /// delivery sweep and the plan-compilation path but must be
+    /// bit-identical to a `None` run — this is what lets resilient callers
+    /// always pass a plan without forking on vacuity.
+    #[test]
+    fn vacuous_fault_plan_changes_nothing() {
+        let mut rng = gen::seeded_rng(216);
+        let g = gen::random_planar(90, 0.5, &mut rng);
+        let plain = run_framework(&g, &FrameworkConfig::planar(0.3, 9));
+        let vacuous = run_framework(
+            &g,
+            &FrameworkConfig {
+                faults: Some(lcg_congest::FaultPlan::none()),
+                ..FrameworkConfig::planar(0.3, 9)
+            },
+        );
+        assert_eq!(plain.stats, vacuous.stats);
+        assert_eq!(plain.phases, vacuous.phases);
+        assert_eq!(plain.decomposition.cluster_of, vacuous.decomposition.cluster_of);
+        for (a, b) in plain.clusters.iter().zip(&vacuous.clusters) {
+            assert_eq!(a.leader, b.leader);
+            assert_eq!(a.routing, b.routing);
+            assert!(b.election_agrees);
+        }
+    }
+
+    /// Heavy drops: the run must still terminate (no panic, no spin) and
+    /// report the damage honestly through the new per-cluster flags and
+    /// the fault counters, instead of pretending the gathering succeeded.
+    #[test]
+    fn faulty_run_terminates_and_reports_damage() {
+        let mut rng = gen::seeded_rng(217);
+        let g = gen::random_planar(80, 0.5, &mut rng);
+        let cfg = FrameworkConfig {
+            faults: Some(lcg_congest::FaultPlan::drops(0xBAD, 0.6)),
+            max_walk_steps: 20_000,
+            ..FrameworkConfig::planar(0.3, 9)
+        };
+        let out = run_framework(&g, &cfg);
+        // the decomposition itself is substituted (sequential), so it is
+        // intact; the communicating phases took the hits
+        out.decomposition.validate(&g).unwrap();
+        assert!(out.stats.dropped_messages > 0, "0.6 drop rate must bite");
+        let damaged = out
+            .clusters
+            .iter()
+            .any(|c| !c.election_agrees || !c.routing.complete());
+        assert!(damaged, "some multi-vertex cluster must show damage");
+    }
+
+    /// The same fault plan on the same seed is bit-deterministic across
+    /// worker-thread counts: schedule keys are (round, edge), not
+    /// scheduling order.
+    #[test]
+    fn faulty_run_is_thread_count_invariant() {
+        let mut rng = gen::seeded_rng(218);
+        let g = gen::random_planar(70, 0.5, &mut rng);
+        let run = |threads: usize| {
+            run_framework(
+                &g,
+                &FrameworkConfig {
+                    faults: Some(
+                        lcg_congest::FaultPlan::drops(0xFA, 0.25).with_link_failure(2, 1, 6),
+                    ),
+                    exec: ExecConfig::with_threads(threads),
+                    ..FrameworkConfig::planar(0.3, 5)
+                },
+            )
+        };
+        let base = run(1);
+        for t in [2, 4] {
+            let other = run(t);
+            assert_eq!(base.stats, other.stats, "stats diverged at {t} threads");
+            assert_eq!(base.phases, other.phases);
+            for (a, b) in base.clusters.iter().zip(&other.clusters) {
+                assert_eq!(a.routing, b.routing);
+                assert_eq!(a.election_agrees, b.election_agrees);
+            }
+        }
     }
 
     #[test]

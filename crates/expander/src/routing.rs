@@ -16,7 +16,7 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use lcg_congest::{ExecConfig, Network, RoundStats};
+use lcg_congest::{ExecConfig, FaultPlan, Network, RoundStats};
 use lcg_graph::Graph;
 
 /// Outcome of a routing execution, in CONGEST-round currency.
@@ -146,7 +146,7 @@ pub fn random_walk_routing_with_counts_exec(
     rng: &mut impl Rng,
     exec: ExecConfig,
 ) -> RoutingOutcome {
-    walk_routing_core(g, members, leader, counts, max_steps, rng, exec, false).0
+    walk_routing_core(g, members, leader, counts, max_steps, rng, exec, None, false).0
 }
 
 /// [`random_walk_routing_with_counts_exec`] that additionally reports the
@@ -171,12 +171,42 @@ pub fn random_walk_routing_with_counts_traced(
     rng: &mut impl Rng,
     exec: ExecConfig,
 ) -> (RoutingOutcome, Vec<(usize, u64)>) {
-    walk_routing_core(g, members, leader, counts, max_steps, rng, exec, true)
+    walk_routing_core(g, members, leader, counts, max_steps, rng, exec, None, true)
+}
+
+/// The charged walk router under a fault schedule: each crossing of host
+/// edge `e` in walk step `s` is adjudicated by
+/// `faults.kills_message(s, e, from, to)` — a killed token still consumed
+/// the edge's bandwidth (the crossing is charged and, when tracked,
+/// traced) but the token is destroyed, so the outcome can come back
+/// incomplete and `routing_failure_detected` fires. The walk itself draws
+/// the same single seed from `rng` and its trajectories are bit-identical
+/// to the fault-free variant; only token survival differs. Keying the
+/// fault coins by `(step, edge)` keeps the schedule independent of thread
+/// count, exactly as in the simulator's delivery paths.
+///
+/// # Panics
+///
+/// As [`random_walk_routing_with_counts`].
+#[allow(clippy::too_many_arguments)]
+pub fn random_walk_routing_with_counts_faulty(
+    g: &Graph,
+    members: &[usize],
+    leader: usize,
+    counts: &[usize],
+    max_steps: usize,
+    rng: &mut impl Rng,
+    exec: ExecConfig,
+    faults: &FaultPlan,
+    track_edges: bool,
+) -> (RoutingOutcome, Vec<(usize, u64)>) {
+    walk_routing_core(g, members, leader, counts, max_steps, rng, exec, Some(faults), track_edges)
 }
 
 /// Shared body of the charged lazy-walk router. `track_edges` turns on the
-/// cumulative per-edge word tally (host edge ids); everything else —
-/// trajectories, rng consumption, outcome — is identical either way.
+/// cumulative per-edge word tally (host edge ids); `faults` adjudicates
+/// every crossing when present; everything else — trajectories, rng
+/// consumption, outcome — is identical either way.
 #[allow(clippy::too_many_arguments)]
 fn walk_routing_core(
     g: &Graph,
@@ -186,6 +216,7 @@ fn walk_routing_core(
     max_steps: usize,
     rng: &mut impl Rng,
     exec: ExecConfig,
+    faults: Option<&FaultPlan>,
     track_edges: bool,
 ) -> (RoutingOutcome, Vec<(usize, u64)>) {
     assert_eq!(counts.len(), members.len(), "one count per member required");
@@ -221,14 +252,27 @@ fn walk_routing_core(
     }
     let total = tokens.len();
     let mut delivered = tokens.iter().filter(|t| !t.alive).count();
+    let mut lost = 0usize;
     let mut rounds = 0u64;
     let mut steps = 0usize;
     let mut max_edge_load = 0usize;
     let mut edge_load = vec![0usize; sub.m()];
     // cumulative 2-word messages per sub edge (only when tracked)
     let mut edge_words: Vec<u64> = if track_edges { vec![0; sub.m()] } else { Vec::new() };
+    // host edge id per sub edge (only needed to key fault decisions)
+    let host_edge: Vec<usize> = if faults.is_some() {
+        let mut h = vec![usize::MAX; sub.m()];
+        for (e, a, b) in sub.edges() {
+            h[e] = g
+                .edge_id(map[a], map[b])
+                .expect("induced-subgraph edges exist in the host graph");
+        }
+        h
+    } else {
+        Vec::new()
+    };
     let mut moves: Vec<Option<(usize, usize)>> = vec![None; total];
-    while steps < max_steps && delivered < total {
+    while steps < max_steps && delivered + lost < total {
         steps += 1;
         for e in edge_load.iter_mut() {
             *e = 0;
@@ -271,6 +315,17 @@ fn walk_routing_core(
                 step_max = step_max.max(edge_load[e]);
                 if track_edges {
                     edge_words[e] += 2; // one 2-word message per crossing
+                }
+                if let Some(f) = faults {
+                    // the crossing consumed the edge's bandwidth either
+                    // way; adjudicate the token's survival keyed by the
+                    // 0-based walk step
+                    let from = tok.pos;
+                    if f.kills_message((steps - 1) as u64, host_edge[e], map[from], map[w]) {
+                        tok.alive = false;
+                        lost += 1;
+                        continue;
+                    }
                 }
                 tok.pos = w;
                 if w == leader_local {
@@ -511,12 +566,20 @@ pub fn network_walk_routing_with_counts(
         }
         // step-synchronization round
         net.charge_rounds(1);
+        // tokens destroyed in transit by a fault plan leave the system;
+        // once none are waiting anywhere there is nothing left to route
+        if delivered < total && at.iter().all(Vec::is_empty) {
+            break;
+        }
     }
     let end = net.stats();
     let mut stats = end;
     stats.rounds -= start.rounds;
     stats.messages -= start.messages;
     stats.words -= start.words;
+    stats.dropped_messages -= start.dropped_messages;
+    stats.crashed_messages -= start.crashed_messages;
+    stats.truncated_messages -= start.truncated_messages;
     (
         RoutingOutcome {
             delivered,
@@ -675,6 +738,81 @@ mod tests {
         for &(e, _) in &loads {
             let (u, v) = g.endpoints(e);
             assert!(member_set.contains(&u) && member_set.contains(&v), "edge {e} leaves the cluster");
+        }
+    }
+
+    #[test]
+    fn faulty_walk_with_vacuous_plan_matches_plain() {
+        let g = gen::complete(14);
+        let members: Vec<usize> = (0..14).collect();
+        let counts = vec![1usize; 14];
+        let exec = lcg_congest::ExecConfig::with_threads(2);
+        let mut rng_a = gen::seeded_rng(150);
+        let plain = random_walk_routing_with_counts_exec(&g, &members, 5, &counts, 50_000, &mut rng_a, exec);
+        let mut rng_b = gen::seeded_rng(150);
+        let (faulty, _) = random_walk_routing_with_counts_faulty(
+            &g,
+            &members,
+            5,
+            &counts,
+            50_000,
+            &mut rng_b,
+            exec,
+            &FaultPlan::none(),
+            false,
+        );
+        assert_eq!(faulty, plain);
+        use rand::Rng;
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn faulty_walk_loses_tokens_and_reports_incomplete() {
+        let g = gen::complete(12);
+        let members: Vec<usize> = (0..12).collect();
+        let counts = vec![1usize; 12];
+        let mut rng = gen::seeded_rng(151);
+        let (out, _) = random_walk_routing_with_counts_faulty(
+            &g,
+            &members,
+            0,
+            &counts,
+            50_000,
+            &mut rng,
+            lcg_congest::ExecConfig::sequential(),
+            &FaultPlan::drops(9, 1.0),
+            false,
+        );
+        // every first crossing kills its token; only the leader's own
+        // token (absorbed at launch) counts as delivered
+        assert_eq!(out.delivered, 1);
+        assert!(!out.complete());
+        assert!(out.steps < 50_000, "lost tokens must end the walk early");
+    }
+
+    #[test]
+    fn faulty_walk_is_thread_count_invariant() {
+        let g = gen::complete(16);
+        let members: Vec<usize> = (0..16).collect();
+        let counts: Vec<usize> = (0..16).map(|v| 1 + v % 2).collect();
+        let plan = FaultPlan::drops(0xFA, 0.2).with_link_failure(3, 0, 50);
+        let run = |threads: usize| {
+            let mut rng = gen::seeded_rng(152);
+            random_walk_routing_with_counts_faulty(
+                &g,
+                &members,
+                4,
+                &counts,
+                20_000,
+                &mut rng,
+                lcg_congest::ExecConfig::with_threads(threads),
+                &plan,
+                true,
+            )
+        };
+        let seq = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), seq, "{threads} threads diverged under faults");
         }
     }
 

@@ -1,0 +1,33 @@
+// The fault layer's keyed-stream idiom, clean under the deterministic
+// regime. Never compiled — read as text by fixtures_test.rs.
+//
+// The drop coin is a pure function of `(seed, round, edge)`: a fresh
+// ChaCha8 stream per coordinate pair, never a shared RNG advanced in
+// visitation order. D002 (ambient randomness) must stay silent — the
+// stream is seeded, not entropy-fed — and so must D001/D003/P001.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One independent coin per `(round, edge)` coordinate, direction picking
+/// the word — bit-identical at every thread count and visitation order.
+pub fn drop_coin(seed: u64, round: u64, edge: usize, reverse_dir: bool, threshold: u64) -> bool {
+    let key = seed
+        ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (edge as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    let mut stream = ChaCha8Rng::seed_from_u64(key);
+    let forward = stream.next_u64();
+    let word = if reverse_dir { stream.next_u64() } else { forward };
+    word < threshold
+}
+
+/// Derived retry seeds: deterministic stride, not re-seeding from entropy.
+pub fn derived_seed(seed: u64, attempt: u32) -> u64 {
+    seed ^ u64::from(attempt).wrapping_mul(0xA076_1D64_78BD_642F)
+}
+
+/// Compiled plans index crash rounds by vertex; out-of-range ids are a
+/// caller bug surfaced with `expect`-style messages, never `unwrap`.
+pub fn crash_round(crash_at: &[Option<u64>], node: usize) -> Option<u64> {
+    *crash_at.get(node).expect("fault plan compiled for this topology")
+}

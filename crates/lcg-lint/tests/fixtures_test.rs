@@ -118,6 +118,16 @@ fn trace_idiom_fixture_is_clean() {
 }
 
 #[test]
+fn fault_rng_idiom_fixture_is_clean() {
+    // the fault layer's keyed ChaCha streams are seeded, not ambient:
+    // D002 (and every other rule) must stay silent on the idiom
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/fault_rng_idiom.rs");
+    let source = std::fs::read_to_string(path).expect("fixture readable");
+    let findings = lint_source("crates/congest/src/faults.rs", &source);
+    assert!(findings.is_empty(), "fault RNG idioms must lint clean: {findings:?}");
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let findings = lint_fixture("clean.rs");
     assert!(findings.is_empty(), "known-good fixture must be silent: {findings:?}");

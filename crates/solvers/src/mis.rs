@@ -69,6 +69,21 @@ pub fn is_independent_set(g: &Graph, set: &[usize]) -> bool {
     g.edges().all(|(_, u, v)| !(in_set[u] && in_set[v]))
 }
 
+/// Verifies that `set` is a *maximal* independent set of `g`: independent,
+/// and every vertex outside it has a neighbor inside it. This is the
+/// validity contract of the fault-resilient MIS pipelines, which trade
+/// the (1−ε) guarantee for maximality under degradation.
+pub fn is_maximal_independent_set(g: &Graph, set: &[usize]) -> bool {
+    if !is_independent_set(g, set) {
+        return false;
+    }
+    let mut in_set = vec![false; g.n()];
+    for &v in set {
+        in_set[v] = true;
+    }
+    (0..g.n()).all(|v| in_set[v] || g.neighbor_vertices(v).any(|u| in_set[u]))
+}
+
 /// Exact maximum independent set by branch-and-bound, exploring at most
 /// `budget` search nodes.
 ///

@@ -53,5 +53,5 @@ pub mod report;
 pub mod trace;
 mod tracer;
 
-pub use trace::{Hotspot, RoundSample, SpanRecord, Totals, Trace, TraceMeta};
+pub use trace::{FaultEvent, Hotspot, RoundSample, SpanRecord, Totals, Trace, TraceMeta};
 pub use tracer::{SpanId, TraceConfig, Tracer};

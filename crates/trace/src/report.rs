@@ -18,6 +18,7 @@ pub fn render(trace: &Trace) -> String {
     span_tree(trace, &mut out);
     sparkline(trace, &mut out);
     hotspots(trace, &mut out);
+    faults(trace, &mut out);
     out
 }
 
@@ -116,6 +117,27 @@ fn hotspots(trace: &Trace, out: &mut String) {
     }
 }
 
+fn faults(trace: &Trace, out: &mut String) {
+    if trace.faults.is_empty() {
+        return;
+    }
+    // aggregate by cause; the per-round detail stays in the JSONL
+    let mut by_kind: Vec<(&str, u64, u64)> = Vec::new(); // (kind, events, messages)
+    for f in &trace.faults {
+        match by_kind.iter_mut().find(|(k, _, _)| *k == f.kind.as_str()) {
+            Some((_, events, messages)) => {
+                *events += 1;
+                *messages += f.count;
+            }
+            None => by_kind.push((f.kind.as_str(), 1, f.count)),
+        }
+    }
+    out.push_str("\nfault events (injected by the run's fault plan):\n");
+    for (kind, events, messages) in by_kind {
+        out.push_str(&format!("  {kind:<6} {messages:>8} messages over {events} rounds\n"));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +199,23 @@ mod tests {
         let t = Tracer::new(TraceConfig::spans_only("empty"));
         let text = render(&t.finish());
         assert!(text.contains("total: rounds=0"));
+    }
+
+    #[test]
+    fn fault_section_renders_only_under_faults() {
+        let clean = render(&traced());
+        assert!(!clean.contains("fault events"));
+        let mut t = Tracer::new(TraceConfig::spans_only("chaos"));
+        t.record_fault("drop", 4);
+        t.record_round(1, 1, 1);
+        t.record_fault("drop", 2);
+        t.record_fault("crash", 1);
+        t.record_round(1, 1, 1);
+        let text = render(&t.finish());
+        assert!(text.contains("fault events"));
+        assert!(text.contains("drop"));
+        assert!(text.contains("6 messages over 2 rounds"));
+        assert!(text.contains("crash"));
     }
 
     #[test]

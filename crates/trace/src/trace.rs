@@ -8,28 +8,33 @@
 //! byte representation. All quantities are integers (logical rounds and
 //! word counts); wall-clock time never appears (lcg-lint D003).
 //!
-//! Schema (version 1):
+//! Schema (version 2 — version 1 plus trailing `fault` lines):
 //!
 //! ```text
-//! {"type":"meta", "schema":1, "label":…, "n":…, "m":…, "series":bool, "edge_loads":bool}
+//! {"type":"meta", "schema":2, "label":…, "n":…, "m":…, "series":bool, "edge_loads":bool}
 //! {"type":"total", "rounds":…, "messages":…, "words":…, "max_words_edge_round":…}
 //! {"type":"span", "id":…, "parent":…|null, "name":…, "depth":…, "start_round":…,
 //!   "end_round":…, "rounds":…, "messages":…, "words":…, "max_words_edge_round":…,
 //!   "notes":[["key",value],…]}
 //! {"type":"round", "round":…, "messages":…, "words":…, "max_edge_words":…}
 //! {"type":"hotspot", "rank":…, "edge":…, "u":…, "v":…, "words":…}
+//! {"type":"fault", "round":…, "kind":"drop"|"link"|"crash"|"trunc", "count":…}
 //! ```
 //!
 //! Span `notes` serialize as an array of pairs (not an object) to keep
 //! their insertion order. Quiet charged rounds produce no `round` lines;
-//! the `round` index on each sample makes the gaps explicit.
+//! the `round` index on each sample makes the gaps explicit. `fault`
+//! lines (one per `(round, kind)` with at least one destroyed or
+//! truncated message, in event order) appear only in runs executed under
+//! a fault plan — fault-free traces are bytewise version-1 traces except
+//! for the `schema` field.
 
 use serde::{Deserialize, Error, Serialize, Value};
 
 /// Trace header: what was traced and which channels were enabled.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceMeta {
-    /// Schema version (currently 1).
+    /// Schema version (currently 2).
     pub schema: u32,
     /// Caller-chosen label (e.g. `"framework"`).
     pub label: String,
@@ -112,8 +117,19 @@ pub struct Hotspot {
     pub words: u64,
 }
 
+/// One round's destroyed/truncated messages of one fault kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Round (0-based) in which the messages were adjudicated.
+    pub round: u64,
+    /// Fault cause: `"drop"`, `"link"`, `"crash"`, or `"trunc"`.
+    pub kind: String,
+    /// How many messages this round met this fate.
+    pub count: u64,
+}
+
 /// A finished, immutable trace: header, totals, span tree, per-round
-/// series, and hotspot table. Produced by `Tracer::finish`.
+/// series, hotspot table, and fault events. Produced by `Tracer::finish`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Header.
@@ -126,6 +142,8 @@ pub struct Trace {
     pub series: Vec<RoundSample>,
     /// Top-k edges by load (empty unless `meta.edge_loads`).
     pub hotspots: Vec<Hotspot>,
+    /// Fault events in event order (empty for fault-free runs).
+    pub faults: Vec<FaultEvent>,
 }
 
 impl Trace {
@@ -154,6 +172,9 @@ impl Trace {
         for h in &self.hotspots {
             push_line(&mut out, "hotspot", h.to_value());
         }
+        for f in &self.faults {
+            push_line(&mut out, "fault", f.to_value());
+        }
         out
     }
 
@@ -166,6 +187,7 @@ impl Trace {
         let mut spans = Vec::new();
         let mut series = Vec::new();
         let mut hotspots = Vec::new();
+        let mut faults = Vec::new();
         for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
@@ -185,6 +207,7 @@ impl Trace {
                 "span" => spans.push(SpanRecord::from_value(&v)?),
                 "round" => series.push(RoundSample::from_value(&v)?),
                 "hotspot" => hotspots.push(Hotspot::from_value(&v)?),
+                "fault" => faults.push(FaultEvent::from_value(&v)?),
                 other => {
                     return Err(Error::msg(format!("line {}: unknown record type `{other}`", i + 1)))
                 }
@@ -196,6 +219,7 @@ impl Trace {
             spans,
             series,
             hotspots,
+            faults,
         })
     }
 }
@@ -357,6 +381,26 @@ impl Deserialize for Hotspot {
     }
 }
 
+impl Serialize for FaultEvent {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("round".to_string(), self.round.to_value()),
+            ("kind".to_string(), self.kind.to_value()),
+            ("count".to_string(), self.count.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FaultEvent {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(FaultEvent {
+            round: u64::from_value(field(v, "round")?)?,
+            kind: String::from_value(field(v, "kind")?)?,
+            count: u64::from_value(field(v, "count")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +462,41 @@ mod tests {
             back.spans[0].notes,
             vec![("zeta".to_string(), 1), ("alpha".to_string(), 2)]
         );
+    }
+
+    #[test]
+    fn fault_lines_roundtrip_after_hotspots() {
+        let mut t = Tracer::new(TraceConfig::full("faulty").with_top_k(2));
+        t.bind_topology(3, 2, vec![(0, 1), (1, 2)]);
+        // delivery (and hence fault adjudication) precedes the round tick,
+        // mirroring the simulator's call order
+        t.record_fault("drop", 3);
+        t.record_round(2, 4, 2);
+        t.record_fault("crash", 1);
+        t.record_round(1, 1, 1);
+        t.add_edge_words(0, 5);
+        let trace = t.finish();
+        assert_eq!(
+            trace.faults,
+            vec![
+                FaultEvent { round: 0, kind: "drop".to_string(), count: 3 },
+                FaultEvent { round: 1, kind: "crash".to_string(), count: 1 },
+            ]
+        );
+        let text = trace.to_jsonl();
+        let tags: Vec<String> = text
+            .lines()
+            .map(|l| {
+                match serde_json::parse_value(l).expect("valid JSON line").get("type") {
+                    Some(Value::Str(s)) => s.clone(),
+                    _ => panic!("line without string type tag: {l}"),
+                }
+            })
+            .collect();
+        assert_eq!(tags, ["meta", "total", "round", "round", "hotspot", "fault", "fault"]);
+        let back = Trace::from_jsonl(&text).expect("faulty trace parses");
+        assert_eq!(back, trace);
+        assert_eq!(back.to_jsonl(), text);
     }
 
     #[test]

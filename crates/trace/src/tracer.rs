@@ -2,7 +2,7 @@
 //! and per-edge loads while an execution runs, then [`Tracer::finish`]es
 //! into an immutable [`Trace`].
 
-use crate::trace::{Hotspot, RoundSample, SpanRecord, Totals, Trace, TraceMeta};
+use crate::trace::{FaultEvent, Hotspot, RoundSample, SpanRecord, Totals, Trace, TraceMeta};
 
 /// What a [`Tracer`] records beyond the span tree (which is always on).
 ///
@@ -97,6 +97,7 @@ pub struct Tracer {
     open: Vec<usize>,
     series: Vec<RoundSample>,
     edge_words: Vec<u64>,
+    faults: Vec<FaultEvent>,
 }
 
 impl Tracer {
@@ -115,6 +116,7 @@ impl Tracer {
             open: Vec::new(),
             series: Vec::new(),
             edge_words: Vec::new(),
+            faults: Vec::new(),
         }
     }
 
@@ -228,6 +230,15 @@ impl Tracer {
         }
     }
 
+    /// Records `count` messages meeting fault `kind` (`"drop"`, `"link"`,
+    /// `"crash"`, or `"trunc"`) in the round currently being delivered.
+    /// Delivery precedes the round tick, so the event's round index is
+    /// the current round count — the 0-based index of the round in
+    /// flight, matching the `round` indices of the series samples.
+    pub fn record_fault(&mut self, kind: &str, count: u64) {
+        self.faults.push(FaultEvent { round: self.rounds, kind: kind.to_string(), count });
+    }
+
     /// Adds `words` to edge `edge`'s cumulative load. No-op unless
     /// edge loads are enabled and the topology is bound.
     pub fn add_edge_words(&mut self, edge: usize, words: u64) {
@@ -301,7 +312,7 @@ impl Tracer {
             .collect();
         Trace {
             meta: TraceMeta {
-                schema: 1,
+                schema: 2,
                 label: self.cfg.label.clone(),
                 n: self.n,
                 m: self.m,
@@ -317,6 +328,7 @@ impl Tracer {
             spans,
             series: self.series,
             hotspots,
+            faults: self.faults,
         }
     }
 }

@@ -1,0 +1,243 @@
+//! Chaos layer: every application, run under injected faults through the
+//! self-healing harness, must terminate with a *valid* output — never a
+//! panic, never a silent lie — for every point of a (graph class × drop
+//! probability × seed) grid. On top of validity:
+//!
+//! * the fault schedule and the final stats are bit-identical at 1/2/4
+//!   worker threads (schedules are keyed by `(round, edge)`, not by
+//!   scheduling order), and
+//! * a `FaultPlan::none()` run reproduces the pre-fault-layer golden
+//!   stats **byte for byte** (the fault counters serialize only when
+//!   nonzero, so the vacuous plan is invisible on disk).
+
+use locongest::congest::{stats, ExecConfig, FaultPlan, Model, Network, RoundStats};
+use locongest::core::apps::{corrclust, ldd, maxis, mcm, mds, wmaxis};
+use locongest::core::framework::{run_framework, FrameworkConfig};
+use locongest::core::recovery::RecoveryPolicy;
+use locongest::graph::{gen, Graph};
+use locongest::solvers::mis::is_maximal_independent_set;
+
+fn chaos_policy() -> RecoveryPolicy {
+    RecoveryPolicy {
+        max_retries: 2,
+        initial_walk_steps: 4_000,
+    }
+}
+
+/// The grid instances: a random planar graph and a grid, per seed.
+fn instances(seed: u64) -> Vec<(&'static str, Graph)> {
+    let mut rng = gen::seeded_rng(0xC4A0 ^ seed);
+    vec![
+        ("planar60", gen::random_planar(60, 0.5, &mut rng)),
+        ("grid7x7", gen::grid(7, 7)),
+    ]
+}
+
+/// Runs all six applications on `g` under `plan` and validates each
+/// output unconditionally — including fully degraded runs.
+fn apps_survive(name: &str, g: &Graph, plan: &FaultPlan, seed: u64) {
+    let policy = chaos_policy();
+    let ctx = |app: &str| format!("{app} on {name} (drop={}, seed={seed})", plan.drop_prob);
+
+    let (out, _r) = maxis::approx_maximum_independent_set_resilient(
+        g, 0.3, 3.0, seed, 5_000_000, plan, &policy,
+    );
+    assert!(
+        is_maximal_independent_set(g, &out.set),
+        "{}: not a maximal independent set",
+        ctx("maxis")
+    );
+
+    let w: Vec<u64> = (0..g.n() as u64).map(|v| 1 + (v * 7919) % 50).collect();
+    let (out, _r) = wmaxis::approx_maximum_weight_independent_set_resilient(
+        g, &w, 0.3, 3.0, seed, 5_000_000, plan, &policy,
+    );
+    assert!(
+        is_maximal_independent_set(g, &out.set),
+        "{}: not a maximal independent set",
+        ctx("wmaxis")
+    );
+    assert_eq!(out.weight, out.set.iter().map(|&v| w[v]).sum::<u64>());
+
+    let (out, _r) =
+        mds::approx_minimum_dominating_set_resilient(g, 0.5, seed, 1_000_000, plan, &policy);
+    assert!(
+        locongest::solvers::mds::is_dominating_set(g, &out.set),
+        "{}: not dominating",
+        ctx("mds")
+    );
+
+    let (out, _r) = mcm::approx_maximum_matching_resilient(g, 0.4, seed, plan, &policy);
+    assert!(mcm::is_valid(g, &out), "{}: invalid matching", ctx("mcm"));
+    for (_, u, v) in g.edges() {
+        assert!(
+            out.mate[u].is_some() || out.mate[v].is_some(),
+            "{}: matching not maximal at edge ({u},{v})",
+            ctx("mcm")
+        );
+    }
+
+    let mut rng = gen::seeded_rng(0x1ABE1 ^ seed);
+    let lg = gen::random_labels(g.clone(), 0.6, &mut rng);
+    let (out, _r) =
+        corrclust::approx_correlation_clustering_resilient(&lg, 0.3, seed, 16, plan, &policy);
+    assert_eq!(out.clustering.len(), g.n(), "{}", ctx("corrclust"));
+    assert_eq!(
+        out.score,
+        locongest::solvers::corrclust::score(&lg, &out.clustering),
+        "{}: reported score is not the recomputed score",
+        ctx("corrclust")
+    );
+
+    let eps = 0.4;
+    let (out, report) =
+        ldd::low_diameter_decomposition_resilient(g, eps, 3.0, seed, plan, &policy);
+    assert_eq!(out.cluster_of.len(), g.n(), "{}", ctx("ldd"));
+    let members = locongest::congest::primitives::cluster_members(&out.cluster_of);
+    let mut measured = 0usize;
+    for (_, vs) in members {
+        let (sub, _) = g.induced_subgraph(&vs);
+        assert!(sub.is_connected(), "{}: disconnected cluster", ctx("ldd"));
+        measured = measured.max(sub.diameter().unwrap_or(0));
+    }
+    // every cluster fits the bound the outcome itself claims...
+    assert_eq!(measured, out.max_diameter, "{}", ctx("ldd"));
+    // ...and a non-degraded run keeps the Theorem 1.5 D = O(1/ε) scale
+    if !report.degraded {
+        assert!(
+            (out.max_diameter as f64) <= 80.0 / eps,
+            "{}: diameter {} breaks O(1/eps)",
+            ctx("ldd"),
+            out.max_diameter
+        );
+    }
+}
+
+#[test]
+fn all_apps_terminate_validly_under_light_faults() {
+    for seed in [1u64, 2] {
+        for (name, g) in instances(seed) {
+            let plan = FaultPlan::drops(seed.wrapping_mul(7) + 1, 0.05)
+                .with_link_failure((seed as usize) % g.m(), 0, 30);
+            apps_survive(name, &g, &plan, seed);
+        }
+    }
+}
+
+#[test]
+fn all_apps_terminate_validly_under_heavy_faults() {
+    for seed in [1u64, 2] {
+        for (name, g) in instances(seed) {
+            let plan = FaultPlan::drops(seed.wrapping_mul(7) + 2, 0.25)
+                .with_link_failure((seed as usize) % g.m(), 0, u64::MAX)
+                .with_crash(g.n() - 1, 5);
+            apps_survive(name, &g, &plan, seed);
+        }
+    }
+}
+
+#[test]
+fn all_apps_terminate_validly_under_total_blackout() {
+    let seed = 1u64;
+    for (name, g) in instances(seed) {
+        // every message of every round dropped, forever: every run
+        // degrades, every output must still validate
+        apps_survive(name, &g, &FaultPlan::drops(3, 1.0), seed);
+    }
+}
+
+/// Fault schedules are part of the deterministic contract: the same plan
+/// on the same graph produces byte-identical traces (including the
+/// per-round fault event lines) and equal stats at 1, 2, and 4 worker
+/// threads.
+#[test]
+fn fault_schedule_and_stats_are_thread_count_invariant() {
+    let mut rng = gen::seeded_rng(0x7EAD);
+    let g = gen::random_planar(80, 0.5, &mut rng);
+    let run = |threads: usize| {
+        let out = run_framework(
+            &g,
+            &FrameworkConfig {
+                faults: Some(
+                    FaultPlan::drops(0xFA, 0.2)
+                        .with_link_failure(3, 0, 50)
+                        .with_crash(g.n() - 1, 10),
+                ),
+                trace: true,
+                trace_top_k: 8,
+                exec: ExecConfig::with_threads(threads),
+                max_walk_steps: 30_000,
+                ..FrameworkConfig::planar(0.3, 13)
+            },
+        );
+        (out.trace.to_jsonl(), out.stats)
+    };
+    let (base_trace, base_stats) = run(1);
+    assert!(
+        base_trace.lines().any(|l| l.contains("\"fault\"")),
+        "an active plan must leave fault events in the trace"
+    );
+    for threads in [2usize, 4] {
+        let (trace, st) = run(threads);
+        assert_eq!(base_trace, trace, "trace diverged at {threads} threads");
+        stats::compare(&base_stats, &st)
+            .unwrap_or_else(|e| panic!("stats diverged at {threads} threads: {e}"));
+    }
+}
+
+/// Replays the golden-stats workloads with a vacuous fault plan attached:
+/// the results must match the checked-in pre-fault-layer goldens **byte
+/// for byte** once serialized — `FaultPlan::none()` is free, and zero
+/// fault counters never appear on disk.
+#[test]
+fn vacuous_plan_reproduces_pre_fault_layer_goldens() {
+    let golden = |name: &str| {
+        let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(format!("{name}.json"));
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e})"))
+    };
+    let assert_bytes = |name: &str, got: RoundStats| {
+        let expected = golden(name);
+        let rendered = serde_json::to_string_pretty(&got).unwrap();
+        assert_eq!(
+            expected.trim_end(),
+            rendered.trim_end(),
+            "{name}: vacuous-plan stats must serialize to the golden bytes"
+        );
+    };
+
+    // flood workload (cycle64, as golden_stats.rs) under a vacuous plan
+    let g = gen::cycle(64);
+    let mut net = Network::new(&g, Model::congest());
+    net.set_fault_plan(Some(FaultPlan::none()));
+    let mut informed = vec![false; g.n()];
+    informed[0] = true;
+    let diam = g.diameter().unwrap_or(0);
+    for _ in 0..diam + 1 {
+        net.step_state(&mut informed, |me, _v, inbox, out| {
+            if inbox.iter().any(Option::is_some) {
+                *me = true;
+            }
+            if *me {
+                for p in 0..out.ports() {
+                    out.send(p, vec![1]);
+                }
+            }
+        });
+    }
+    assert_bytes("cycle64_flood", net.stats());
+
+    // framework workload (random_planar(200, 0.5, 0x601D), seed 5)
+    let mut rng = gen::seeded_rng(0x601D);
+    let g = gen::random_planar(200, 0.5, &mut rng);
+    let out = run_framework(
+        &g,
+        &FrameworkConfig {
+            faults: Some(FaultPlan::none()),
+            ..FrameworkConfig::planar(0.3, 5)
+        },
+    );
+    assert_bytes("planar200_framework", out.stats);
+}

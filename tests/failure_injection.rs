@@ -2,10 +2,13 @@
 //! paper's failed-execution behaviour — failures are detected, degrade to
 //! singletons, and never produce invalid outputs.
 
-use locongest::congest::{primitives, Model, Network};
+use locongest::congest::{primitives, FaultPlan, Model, Network};
 use locongest::core::failure;
 use locongest::expander::routing;
 use locongest::graph::gen;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 #[test]
 fn sabotaged_clustering_is_detected_by_diameter_check() {
@@ -16,13 +19,15 @@ fn sabotaged_clustering_is_detected_by_diameter_check() {
     let n = g.n();
     let sabotaged = vec![0usize; n]; // one cluster, diameter 22
     let b = 5;
-    let (fixed, rounds) = failure::enforce_diameter(&g, &sabotaged, b);
+    let mut net = Network::new(&g, Model::congest());
+    let fixed = failure::enforce_diameter(&mut net, &sabotaged, b);
     // diameter 22 >= 2b+1 = 11 ⇒ every vertex marked ⇒ all singletons
     let mut ids = fixed.clone();
     ids.sort_unstable();
     ids.dedup();
     assert_eq!(ids.len(), n, "sabotage must dissolve to singletons");
-    assert!(rounds >= (3 * b + 1) as u64);
+    // the check runs on the caller's network and is charged there
+    assert!(net.stats().rounds >= (3 * b + 1) as u64);
 }
 
 #[test]
@@ -30,7 +35,8 @@ fn borderline_cluster_survives_diameter_check() {
     // Diameter exactly b: protocol guarantees no marking.
     let g = gen::path(6); // diameter 5
     let cluster = vec![0usize; 6];
-    let (fixed, _) = failure::enforce_diameter(&g, &cluster, 5);
+    let mut net = Network::new(&g, Model::congest());
+    let fixed = failure::enforce_diameter(&mut net, &cluster, 5);
     assert!(fixed.iter().all(|&c| c == 0));
 }
 
@@ -94,6 +100,88 @@ fn singleton_fallback_preserves_validity_of_downstream_maxis() {
     let set: Vec<usize> = (0..g.n()).filter(|&v| in_set[v]).collect();
     assert!(locongest::solvers::mis::is_independent_set(&g, &set));
     assert!(!set.is_empty());
+}
+
+/// Satellite check of this PR's fault layer: under the *message-faithful*
+/// routing model with a generous step budget, a lossless network delivers
+/// everything — the §2.3 reversal detector must stay silent.
+#[test]
+fn lossless_faithful_routing_never_reports_failure() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3003);
+    let g = gen::random_planar(60, 0.5, &mut rng);
+    let members: Vec<usize> = (0..g.n()).collect();
+    let counts = vec![1usize; g.n()];
+    let mut net = Network::new(&g, Model::congest());
+    let (out, _) = routing::network_walk_routing_with_counts(
+        &mut net,
+        &members,
+        0,
+        &counts,
+        500_000,
+        &mut rng,
+    );
+    assert!(!failure::routing_failure_detected(&out));
+    assert_eq!(net.stats().dropped_messages, 0);
+}
+
+/// ...and when every message on the leader's only incident edge is
+/// dropped, tokens can never reach it: the detector MUST fire.
+#[test]
+fn drops_on_the_routed_edge_are_detected() {
+    let g = gen::path(12); // leader 0's only edge is edge 0 (0-1)
+    let members: Vec<usize> = (0..12).collect();
+    let counts = vec![1usize; 12];
+    let mut net = Network::new(&g, Model::congest());
+    net.set_fault_plan(Some(FaultPlan::none().with_link_failure(0, 0, u64::MAX)));
+    let mut rng = ChaCha8Rng::seed_from_u64(3004);
+    let (out, stats) = routing::network_walk_routing_with_counts(
+        &mut net,
+        &members,
+        0,
+        &counts,
+        50_000,
+        &mut rng,
+    );
+    assert!(
+        failure::routing_failure_detected(&out),
+        "a severed leader edge must be detected: {out:?}"
+    );
+    // only the leader's own self-token arrives
+    assert_eq!(out.delivered, 1);
+    assert!(stats.dropped_messages > 0, "the cut edge swallowed traffic");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Across random seeds and graphs: a vacuous plan never trips the
+    /// detector (the walk budget is generous), while a total blackout
+    /// always does — detection is a function of the faults, not the seed.
+    #[test]
+    fn detector_tracks_faults_not_seeds(seed in any::<u64>(), n in 8usize..40) {
+        let mut grng = gen::seeded_rng(seed);
+        let g = gen::random_planar(n, 0.5, &mut grng);
+        let members: Vec<usize> = (0..g.n()).collect();
+        let counts = vec![1usize; g.n()];
+
+        let mut net = Network::new(&g, Model::congest());
+        net.set_fault_plan(Some(FaultPlan::none()));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (out, _) = routing::network_walk_routing_with_counts(
+            &mut net, &members, 0, &counts, 2_000_000, &mut rng,
+        );
+        prop_assert!(!failure::routing_failure_detected(&out));
+
+        let mut net = Network::new(&g, Model::congest());
+        net.set_fault_plan(Some(FaultPlan::drops(seed, 1.0)));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (out, _) = routing::network_walk_routing_with_counts(
+            &mut net, &members, 0, &counts, 2_000_000, &mut rng,
+        );
+        // nothing but the leader's self-token can ever arrive
+        prop_assert!(failure::routing_failure_detected(&out));
+        prop_assert_eq!(out.delivered, 1);
+    }
 }
 
 #[test]

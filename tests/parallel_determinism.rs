@@ -184,7 +184,13 @@ fn mis_pipeline_thread_invariant() {
 /// full equality of two runs configured by env-style and explicit configs.
 #[test]
 fn stats_compare_reports_field_level_diffs() {
-    let a = RoundStats { rounds: 1, messages: 2, words: 3, max_words_edge_round: 1 };
+    let a = RoundStats {
+        rounds: 1,
+        messages: 2,
+        words: 3,
+        max_words_edge_round: 1,
+        ..RoundStats::default()
+    };
     assert!(stats::compare(&a, &a).is_ok());
     let b = RoundStats { words: 4, rounds: 2, ..a };
     let err = stats::compare(&a, &b).unwrap_err();
