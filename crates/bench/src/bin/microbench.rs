@@ -1,0 +1,140 @@
+//! Hot-path microbenchmark runner (Experiment E21).
+//!
+//! ```text
+//! cargo run --release -p lcg-bench --bin microbench                 # full suite
+//! cargo run --release -p lcg-bench --bin microbench -- --quick \
+//!     --json BENCH_microbench.json                                  # CI smoke
+//! cargo run --release -p lcg-bench --bin microbench -- --quick \
+//!     --check-against BENCH_microbench.json --tolerance 0.25        # gate
+//! ```
+//!
+//! `--check-against` compares the run's `speedup_vs_legacy` ratios (new
+//! engine vs the in-process legacy Vec-message engine) to a committed
+//! baseline and exits nonzero when any ratio decays by more than the
+//! tolerance. Ratios, not wall times, so slow CI runners do not flap the
+//! gate; a missing baseline file is a pass (first run seeds it).
+
+use std::process::ExitCode;
+
+use lcg_bench::microbench::{check_regression, run_suite};
+use serde::Value;
+
+struct Args {
+    quick: bool,
+    json: Option<String>,
+    check_against: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { quick: false, json: None, check_against: None, tolerance: 0.25 };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
+            "--check-against" => {
+                args.check_against = Some(it.next().ok_or("--check-against needs a path")?);
+            }
+            "--tolerance" => {
+                let raw = it.next().ok_or("--tolerance needs a fraction")?;
+                args.tolerance =
+                    raw.parse().map_err(|e| format!("bad --tolerance {raw:?}: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: microbench [--quick] [--json PATH] \
+                            [--check-against PATH] [--tolerance F]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let suite = run_suite(args.quick);
+
+    println!(
+        "microbench ({} mode, median of {} iters)\n\
+         {:<14} {:>9} {:>8} {:>12} {:>14} {:>16} {:>10}",
+        suite.mode, suite.iters, "workload", "n", "rounds", "ns/round", "msgs/sec", "legacy ns/round", "speedup"
+    );
+    for r in &suite.results {
+        let fmt_opt = |x: Option<f64>| x.map_or("-".to_string(), |v| format!("{v:.0}"));
+        println!(
+            "{:<14} {:>9} {:>8} {:>12.0} {:>14} {:>16} {:>10}",
+            r.name,
+            r.n,
+            r.rounds,
+            r.median_ns_per_round,
+            fmt_opt(r.messages_per_sec),
+            fmt_opt(r.legacy_median_ns_per_round),
+            r.speedup_vs_legacy.map_or("-".to_string(), |s| format!("{s:.2}x")),
+        );
+    }
+    for r in &suite.results {
+        if let (Some(new), Some(old)) =
+            (r.modeled_allocs_per_round, r.modeled_allocs_per_round_legacy)
+        {
+            println!(
+                "{}: modeled allocations/round {old} (legacy) -> {new} (pooled+inline)",
+                r.name
+            );
+        }
+    }
+
+    if let Some(path) = &args.json {
+        let rendered = match serde_json::to_string_pretty(&suite) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot serialize suite: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, rendered + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &args.check_against {
+        let raw = match std::fs::read_to_string(path) {
+            Ok(raw) => raw,
+            Err(_) => {
+                println!("no baseline at {path}; skipping regression gate (first run seeds it)");
+                return ExitCode::SUCCESS;
+            }
+        };
+        let baseline: Value = match serde_json::parse_value(&raw) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("baseline {path} is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let failures = check_regression(&suite, &baseline, args.tolerance);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("REGRESSION: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "regression gate passed (tolerance {:.0}%) against {path}",
+            args.tolerance * 100.0
+        );
+    }
+
+    ExitCode::SUCCESS
+}

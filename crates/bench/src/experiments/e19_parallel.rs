@@ -58,7 +58,7 @@ fn flood_table(scale: Scale) -> Table {
                 h = h.rotate_left(7) ^ m[0].wrapping_mul(0xFF51_AFD7_ED55_8CCD);
             }
             for p in 0..out.ports() {
-                out.send(p, vec![h ^ p as u64]);
+                out.send(p, [h ^ p as u64]);
             }
         });
         let wall = started.elapsed().as_secs_f64() * 1e3;

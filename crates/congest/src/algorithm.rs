@@ -65,17 +65,19 @@ pub fn run_programs<P: NodeProgram>(
         })
         .collect();
     let mut running = vec![true; n];
+    // Double-buffered inbox grids: `prev_inboxes` feeds the programs while
+    // `inboxes` collects this round's arrivals; the recv phase writes every
+    // slot, so swapping (no clear, no reallocation) is enough. The stored
+    // clone is a plain copy for inline CONGEST-size messages.
     let mut inboxes: Vec<Vec<Option<crate::network::Message>>> =
         (0..n).map(|v| vec![None; net.graph().degree(v)]).collect();
+    let mut prev_inboxes = inboxes.clone();
     for round in 0..max_rounds {
         if running.iter().all(|&r| !r) {
             break;
         }
         let mut next_running = running.clone();
-        let prev_inboxes = std::mem::replace(
-            &mut inboxes,
-            (0..n).map(|v| vec![None; net.graph().degree(v)]).collect(),
-        );
+        std::mem::swap(&mut prev_inboxes, &mut inboxes);
         // one exchange: send phase runs the programs, recv phase stores
         // the inboxes for the next round.
         net.exchange(
@@ -201,7 +203,7 @@ mod tests {
             }
             if self.changed {
                 for p in 0..ctx.ports {
-                    out.send(p, vec![self.best]);
+                    out.send(p, [self.best]);
                 }
                 self.changed = false;
             }

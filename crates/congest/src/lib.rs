@@ -36,6 +36,7 @@ pub mod algorithm;
 pub mod exec;
 pub mod faults;
 mod model;
+pub mod msg;
 mod network;
 pub mod primitives;
 pub mod stats;
@@ -44,5 +45,6 @@ pub use algorithm::{run_programs, run_programs_state, NodeCtx, NodeProgram};
 pub use exec::ExecConfig;
 pub use faults::{FaultPlan, LinkFailure, NodeCrash};
 pub use model::Model;
+pub use msg::{Msg, INLINE_WORDS};
 pub use network::{Inbox, Message, Network, Outbox};
 pub use stats::RoundStats;

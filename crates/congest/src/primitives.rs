@@ -132,7 +132,7 @@ pub fn max_flood(
             |v, out| {
                 for (p, &u) in nbrs[v].iter().enumerate() {
                     if scope.allows(v, u) {
-                        out.send(p, vec![snap[v].0, snap[v].1 as u64]);
+                        out.send(p, [snap[v].0, snap[v].1 as u64]);
                     }
                 }
             },
@@ -172,7 +172,7 @@ pub fn convergecast_sum(net: &mut Network, forest: &BfsForest, values: &[u64]) -
         net.exchange(
             |v, out| {
                 if forest.dist[v] == d {
-                    out.send(parent_port[v].expect("non-root has parent"), vec![snap[v]]);
+                    out.send(parent_port[v].expect("non-root has parent"), [snap[v]]);
                 }
             },
             |v, inbox| {
@@ -219,7 +219,7 @@ pub fn broadcast_down(net: &mut Network, forest: &BfsForest, payload: &[u64]) ->
                 if forest.dist[v] == d {
                     if let Some(x) = snap[v] {
                         for &p in &child_ports[v] {
-                            out.send(p, vec![x]);
+                            out.send(p, [x]);
                         }
                     }
                 }
@@ -253,7 +253,7 @@ pub fn diameter_check(net: &mut Network, cluster: &[usize], b: usize) -> Vec<boo
         |v, out| {
             for (p, &u) in nbrs[v].iter().enumerate() {
                 if cluster[u] == cluster[v] {
-                    out.send(p, vec![best[v].0, best[v].1 as u64]);
+                    out.send(p, [best[v].0, best[v].1 as u64]);
                 }
             }
         },
@@ -272,7 +272,7 @@ pub fn diameter_check(net: &mut Network, cluster: &[usize], b: usize) -> Vec<boo
                 if snapshot[v] {
                     for (p, &u) in nbrs[v].iter().enumerate() {
                         if cluster[u] == cluster[v] {
-                            out.send(p, vec![1]);
+                            out.send(p, [1]);
                         }
                     }
                 }
@@ -324,7 +324,7 @@ pub fn h_partition_distributed(
                 if peel[v] {
                     for (p, &u) in nbrs[v].iter().enumerate() {
                         if scope.allows(v, u) {
-                            out.send(p, vec![1]);
+                            out.send(p, [1]);
                         }
                     }
                 }

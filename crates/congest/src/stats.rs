@@ -69,6 +69,7 @@ impl Deserialize for RoundStats {
 
 impl RoundStats {
     /// Accumulates another phase's stats (rounds add; maxima take max).
+    #[inline]
     pub fn merge(&mut self, other: &RoundStats) {
         self.rounds += other.rounds;
         self.messages += other.messages;

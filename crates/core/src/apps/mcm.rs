@@ -61,7 +61,7 @@ fn star_elimination_core(g: &Graph, faults: Option<&FaultPlan>) -> (Vec<bool>, R
                         .iter()
                         .position(|&u| kept[u])
                         .expect("pendant vertex has exactly one kept neighbor");
-                    out.send(p, vec![1]);
+                    out.send(p, [1]);
                 }
             },
             |v, inbox| {
@@ -77,7 +77,7 @@ fn star_elimination_core(g: &Graph, faults: Option<&FaultPlan>) -> (Vec<bool>, R
             |v, out| {
                 // keep the token from the lowest port; bounce the rest
                 for &p in received[v].iter().skip(1) {
-                    out.send(p, vec![1]);
+                    out.send(p, [1]);
                 }
             },
             |v, inbox| {
@@ -112,7 +112,7 @@ fn star_elimination_core(g: &Graph, faults: Option<&FaultPlan>) -> (Vec<bool>, R
                         .iter()
                         .position(|&u| u == a)
                         .expect("two[v] endpoints are neighbors of v");
-                    out.send(p, vec![b as u64, 3]);
+                    out.send(p, [b as u64, 3]);
                 }
             },
             |v, inbox| {
@@ -135,7 +135,7 @@ fn star_elimination_core(g: &Graph, faults: Option<&FaultPlan>) -> (Vec<bool>, R
                 }
                 for (_, ports) in by_other {
                     for &p in ports.iter().skip(2) {
-                        out.send(p, vec![1, 3]);
+                        out.send(p, [1, 3]);
                     }
                 }
             },

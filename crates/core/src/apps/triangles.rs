@@ -103,7 +103,7 @@ pub fn count_triangles(g: &Graph, density_bound: f64) -> TriangleOutcome {
         net.exchange(
             |v, out| {
                 if let Some(&(port, b)) = queries[v].get(s) {
-                    out.send(port, vec![b as u64, 1]);
+                    out.send(port, [b as u64, 1]);
                 }
             },
             |v, inbox| {
@@ -120,7 +120,7 @@ pub fn count_triangles(g: &Graph, density_bound: f64) -> TriangleOutcome {
             |v, out| {
                 for &(p, b) in &incoming[v] {
                     let yes = nbrs[v].binary_search(&(b as usize)).is_ok() as u64;
-                    out.send(p, vec![yes, 2]);
+                    out.send(p, [yes, 2]);
                 }
             },
             |v, inbox| {

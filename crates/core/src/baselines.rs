@@ -31,7 +31,7 @@ pub fn luby_mis(g: &Graph, seed: u64) -> (Vec<usize>, RoundStats) {
             |v, out| {
                 if state[v] == 0 {
                     for (p, _) in nbrs[v].iter().enumerate() {
-                        out.send(p, vec![priority[v]]);
+                        out.send(p, [priority[v]]);
                     }
                 }
             },
@@ -60,7 +60,7 @@ pub fn luby_mis(g: &Graph, seed: u64) -> (Vec<usize>, RoundStats) {
             |v, out| {
                 if snapshot[v] == 1 && local_min[v] {
                     for (p, _) in nbrs[v].iter().enumerate() {
-                        out.send(p, vec![1]);
+                        out.send(p, [1]);
                     }
                 }
             },
@@ -118,7 +118,7 @@ pub fn randomized_greedy_matching(g: &Graph, seed: u64) -> (Vec<Option<usize>>, 
                         .iter()
                         .position(|&w| w == u)
                         .expect("proposal target is a neighbor");
-                    out.send(p, vec![1]);
+                    out.send(p, [1]);
                 }
             },
             |v, inbox| {

@@ -85,7 +85,7 @@ pub fn mpx_clustering(net: &mut Network, beta: f64, rng: &mut impl Rng) -> Distr
                 if ann[v] {
                     let (key, c) = snapshot[v].expect("announcing vertex holds a snapshot");
                     for (p, _) in nbrs[v].iter().enumerate() {
-                        out.send(p, vec![key as u64, c as u64]);
+                        out.send(p, [key as u64, c as u64]);
                     }
                 }
             },

@@ -538,7 +538,7 @@ pub fn network_walk_routing_with_counts(
                 |v, out| {
                     for (&q, queue) in pending[v].iter() {
                         if let Some(&t) = queue.last() {
-                            out.send(q, vec![t, steps as u64]);
+                            out.send(q, [t, steps as u64]);
                         }
                     }
                 },

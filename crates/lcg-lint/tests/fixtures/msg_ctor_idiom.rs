@@ -1,0 +1,67 @@
+// Idiom fixture: the `Msg` constructor style of crates/congest/src/msg.rs.
+// The message type is the innermost hot-path value of the simulator, so its
+// constructors must stay panic-free — no unwrap/expect/panic!/todo! — and
+// this fixture pins that down: the self-test asserts ZERO active findings
+// (P001 and every other rule) on this exact idiom. If a future edit to the
+// constructors introduces a panicking form, mirroring it here turns the
+// fixture test red before the workspace scan does.
+
+const INLINE_WORDS: usize = 2;
+
+enum Repr {
+    Inline { len: u8, words: [u64; INLINE_WORDS] },
+    Spilled(Vec<u64>),
+}
+
+pub struct Msg(Repr);
+
+impl Msg {
+    pub const fn new() -> Msg {
+        Msg(Repr::Inline { len: 0, words: [0; INLINE_WORDS] })
+    }
+
+    // Normalizing constructor: total on every input, no bounds that could
+    // miss. The zip bounds the copy by both slice lengths, so there is no
+    // indexing to defend with an assert.
+    pub fn from_slice(words: &[u64]) -> Msg {
+        if words.len() <= INLINE_WORDS {
+            let mut buf = [0u64; INLINE_WORDS];
+            for (dst, src) in buf.iter_mut().zip(words) {
+                *dst = *src;
+            }
+            Msg(Repr::Inline { len: words.len() as u8, words: buf })
+        } else {
+            Msg(Repr::Spilled(words.to_vec()))
+        }
+    }
+
+    // Shrinking keeps the representation invariant without ever panicking:
+    // an over-large `cap` is a no-op, like `Vec::truncate`.
+    pub fn truncate(&mut self, cap: usize) {
+        match &mut self.0 {
+            Repr::Inline { len, .. } => {
+                if (*len as usize) > cap {
+                    *len = cap as u8;
+                }
+            }
+            Repr::Spilled(v) => {
+                if v.len() > cap {
+                    v.truncate(cap);
+                    if v.len() <= INLINE_WORDS {
+                        *self = Msg::from_slice(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl From<Vec<u64>> for Msg {
+    fn from(words: Vec<u64>) -> Msg {
+        if words.len() <= INLINE_WORDS {
+            Msg::from_slice(&words)
+        } else {
+            Msg(Repr::Spilled(words))
+        }
+    }
+}

@@ -128,6 +128,16 @@ fn fault_rng_idiom_fixture_is_clean() {
 }
 
 #[test]
+fn msg_ctor_idiom_fixture_is_clean() {
+    // the Msg constructors are the innermost hot path of the simulator;
+    // they are total by construction (zip-bounded copies, Vec::truncate
+    // semantics) and must stay P001-clean — and clean of every other rule
+    let findings = lint_fixture("msg_ctor_idiom.rs");
+    assert_eq!(active(&findings, "P001"), 0, "Msg constructors must be panic-free: {findings:?}");
+    assert!(findings.is_empty(), "Msg constructor idioms must lint clean: {findings:?}");
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let findings = lint_fixture("clean.rs");
     assert!(findings.is_empty(), "known-good fixture must be silent: {findings:?}");

@@ -222,7 +222,7 @@ fn vacuous_plan_reproduces_pre_fault_layer_goldens() {
             }
             if *me {
                 for p in 0..out.ports() {
-                    out.send(p, vec![1]);
+                    out.send(p, [1]);
                 }
             }
         });

@@ -53,7 +53,7 @@ fn flood_stats(g: &Graph) -> RoundStats {
             }
             if *me {
                 for p in 0..out.ports() {
-                    out.send(p, vec![1]);
+                    out.send(p, [1]);
                 }
             }
         });

@@ -1,0 +1,190 @@
+//! `Msg` semantics lock-down: the small-value message type must be an
+//! *invisible* replacement for the old `Vec<u64>` messages.
+//!
+//! Three angles:
+//! 1. property tests crossing the inline↔spilled boundary (`INLINE_WORDS`
+//!    = 2) in both directions — construction and truncation;
+//! 2. word accounting: a run whose messages straddle the boundary produces
+//!    the same `RoundStats` whether call sites send arrays, slices, or
+//!    `Vec<u64>` (the old API), because accounting is by *content length*,
+//!    never by representation;
+//! 3. bit-identity: the checked-in `tests/golden` fixtures — blessed
+//!    before the `Msg` change and deliberately NOT re-blessed — must be
+//!    reproduced exactly at 1, 2, and 4 threads.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use locongest::congest::{stats, ExecConfig, Model, Msg, Network, RoundStats, INLINE_WORDS};
+use locongest::core::framework::{run_framework, FrameworkConfig};
+use locongest::graph::{gen, Graph};
+
+// --- 1. representation round-trips across the boundary -------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every constructor normalizes: content survives, and the
+    /// representation is inline exactly when the payload fits.
+    #[test]
+    fn construction_round_trips(words in proptest::collection::vec(any::<u64>(), 0..8)) {
+        for msg in [
+            Msg::from_slice(&words),
+            Msg::from(words.as_slice()),
+            Msg::from(words.clone()),
+            words.iter().copied().collect::<Msg>(),
+        ] {
+            prop_assert_eq!(msg.as_slice(), words.as_slice());
+            prop_assert_eq!(msg.len(), words.len());
+            prop_assert_eq!(msg.is_inline(), words.len() <= INLINE_WORDS, "len {}", words.len());
+            prop_assert_eq!(&msg, &words); // content equality vs Vec<u64>
+            prop_assert_eq!(msg.to_vec(), words.clone());
+        }
+    }
+
+    /// `truncate` matches `Vec::truncate` on content and restores the
+    /// inline representation whenever the result fits — including the
+    /// spilled→inline crossing at exactly INLINE_WORDS.
+    #[test]
+    fn truncate_matches_vec_semantics(
+        words in proptest::collection::vec(any::<u64>(), 0..8),
+        cap in 0usize..10,
+    ) {
+        let mut msg = Msg::from_slice(&words);
+        let mut expect = words.clone();
+        msg.truncate(cap);
+        expect.truncate(cap);
+        prop_assert_eq!(msg.as_slice(), expect.as_slice());
+        prop_assert_eq!(msg.is_inline(), expect.len() <= INLINE_WORDS,
+            "truncate({cap}) of len {} must re-inline iff it fits", words.len());
+    }
+
+    /// Equality and hashing are content-based: a spilled message truncated
+    /// into the inline range equals the directly-built inline message.
+    #[test]
+    fn representations_are_indistinguishable(words in proptest::collection::vec(any::<u64>(), 0..=INLINE_WORDS)) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // force the long way round: spill, then truncate back down
+        let mut padded = words.clone();
+        padded.resize(words.len() + INLINE_WORDS + 1, 0xDEAD);
+        let mut via_spill = Msg::from(padded);
+        prop_assert!(!via_spill.is_inline());
+        via_spill.truncate(words.len());
+        let direct = Msg::from_slice(&words);
+        prop_assert!(via_spill.is_inline());
+        prop_assert_eq!(&via_spill, &direct);
+        let h = |m: &Msg| { let mut s = DefaultHasher::new(); m.hash(&mut s); s.finish() };
+        prop_assert_eq!(h(&via_spill), h(&direct));
+    }
+}
+
+// --- 2. word accounting is representation-blind --------------------------
+
+/// One LOCAL-mode round where vertex v sends a (v mod 5)-word message on
+/// every port — sizes 0..=4 straddle the inline boundary on both sides.
+/// The sender is parameterized by *how* the payload is expressed.
+fn straddle_stats(g: &Graph, send: impl Fn(usize, usize, &mut locongest::congest::Outbox)) -> RoundStats {
+    let mut net = Network::new(g, Model::Local);
+    for _ in 0..3 {
+        net.step(|v, _inbox, out| {
+            let words = v % 5;
+            if words > 0 {
+                send(v, words, out); // the callback covers every port
+            }
+        });
+    }
+    net.stats()
+}
+
+#[test]
+fn word_accounting_equals_old_vec_semantics() {
+    let g = gen::grid(7, 5);
+    // the old API: heap-allocated Vec<u64> for every message
+    let via_vec = straddle_stats(&g, |v, words, out| {
+        for p in 0..out.ports() {
+            out.send(p, vec![v as u64; words]);
+        }
+    });
+    // the new hot path: explicit Msg construction from a slice
+    let via_msg = straddle_stats(&g, |v, words, out| {
+        let payload = vec![v as u64; words];
+        for p in 0..out.ports() {
+            out.send(p, Msg::from_slice(&payload));
+        }
+    });
+    stats::compare(&via_vec, &via_msg).expect("accounting must be representation-blind");
+    // sanity: the workload really does straddle the boundary
+    assert!(via_vec.max_words_edge_round > INLINE_WORDS, "spilled sizes must occur");
+    assert!(via_vec.words > 0 && via_vec.messages > 0);
+    // words = sum of content lengths, exactly as with Vec<u64> messages:
+    // per round, each vertex with v%5 != 0 sends (v%5) words per port
+    let per_round: u64 = (0..g.n()).map(|v| (v % 5) as u64 * g.degree(v) as u64).sum();
+    assert_eq!(via_vec.words, 3 * per_round);
+}
+
+// --- 3. golden fixtures reproduce at 1/2/4 threads, unchanged ------------
+
+fn golden(name: &str) -> RoundStats {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"));
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden fixture {path:?} must exist unchanged: {e}"));
+    serde_json::from_str(&raw).expect("golden fixture parses")
+}
+
+fn flood_stats(g: &Graph, threads: usize) -> RoundStats {
+    let mut net = Network::with_exec(g, Model::congest(), ExecConfig::with_threads(threads));
+    let mut informed = vec![false; g.n()];
+    informed[0] = true;
+    let diam = g.diameter().unwrap_or(0);
+    for _ in 0..diam + 1 {
+        net.step_state(&mut informed, |me, _v, inbox, out| {
+            if inbox.iter().any(Option::is_some) {
+                *me = true;
+            }
+            if *me {
+                for p in 0..out.ports() {
+                    out.send(p, [1u64]);
+                }
+            }
+        });
+    }
+    assert!(informed.iter().all(|&b| b), "flood must reach everyone");
+    net.stats()
+}
+
+fn framework_stats(g: &Graph, threads: usize) -> RoundStats {
+    let config = FrameworkConfig {
+        exec: ExecConfig::with_threads(threads),
+        ..FrameworkConfig::planar(0.3, 5)
+    };
+    run_framework(g, &config).stats
+}
+
+/// The pre-`Msg` golden fixtures, read byte-for-byte as committed, are
+/// reproduced at every thread count: the message representation and the
+/// pooled round buffers changed, the observable execution did not.
+#[test]
+fn golden_fixtures_bit_identical_at_1_2_4_threads() {
+    let mut rng = gen::seeded_rng(0x601D);
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("cycle64", gen::cycle(64)),
+        ("planar200", gen::random_planar(200, 0.5, &mut rng)),
+        ("hypercube8", gen::hypercube(8)),
+    ];
+    for (name, g) in &graphs {
+        let flood_expect = golden(&format!("{name}_flood"));
+        let fw_expect = golden(&format!("{name}_framework"));
+        for threads in [1, 2, 4] {
+            stats::compare(&flood_expect, &flood_stats(g, threads)).unwrap_or_else(|e| {
+                panic!("{name}_flood diverged from pre-Msg golden at {threads} threads: {e}")
+            });
+            stats::compare(&fw_expect, &framework_stats(g, threads)).unwrap_or_else(|e| {
+                panic!("{name}_framework diverged from pre-Msg golden at {threads} threads: {e}")
+            });
+        }
+    }
+}

@@ -88,9 +88,9 @@ proptest! {
                 let mut net =
                     Network::with_exec(&g, Model::congest(), ExecConfig::with_threads(threads));
                 net.par_step(|v, _inbox, out| {
-                    out.send(0, vec![1]);
+                    out.send(0, [1]);
                     if v == bad {
-                        out.send(0, vec![2]);
+                        out.send(0, [2]);
                     }
                 });
             }))

@@ -124,7 +124,7 @@ fn mis_pipeline_thread_invariant() {
                     if s.state == St::Undecided {
                         s.priority = s.rng.gen::<u64>() | 1;
                         for p in 0..out.ports() {
-                            out.send(p, vec![s.priority]);
+                            out.send(p, [s.priority]);
                         }
                     }
                 },
@@ -143,7 +143,7 @@ fn mis_pipeline_thread_invariant() {
                     if s.state == St::In && s.priority != 0 {
                         s.priority = 0; // announce only once
                         for p in 0..out.ports() {
-                            out.send(p, vec![1]);
+                            out.send(p, [1]);
                         }
                     }
                 },
