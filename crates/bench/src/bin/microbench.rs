@@ -9,10 +9,12 @@
 //! ```
 //!
 //! `--check-against` compares the run's `speedup_vs_legacy` ratios (new
-//! engine vs the in-process legacy Vec-message engine) to a committed
-//! baseline and exits nonzero when any ratio decays by more than the
-//! tolerance. Ratios, not wall times, so slow CI runners do not flap the
-//! gate; a missing baseline file is a pass (first run seeds it).
+//! engine vs the in-process legacy Vec-message engine) and the
+//! `speedup_vs_t1` scaling ratios (`*_scaling_tN` rows: multi-thread
+//! rounds vs the same run's 1-thread rounds on the worker pool) to a
+//! committed baseline and exits nonzero when any ratio decays by more
+//! than the tolerance. Ratios, not wall times, so slow CI runners do not
+//! flap the gate; a missing baseline file is a pass (first run seeds it).
 
 use std::process::ExitCode;
 
@@ -66,20 +68,22 @@ fn main() -> ExitCode {
 
     println!(
         "microbench ({} mode, median of {} iters)\n\
-         {:<14} {:>9} {:>8} {:>12} {:>14} {:>16} {:>10}",
-        suite.mode, suite.iters, "workload", "n", "rounds", "ns/round", "msgs/sec", "legacy ns/round", "speedup"
+         {:<22} {:>9} {:>8} {:>12} {:>14} {:>16} {:>10} {:>8}",
+        suite.mode, suite.iters, "workload", "n", "rounds", "ns/round", "msgs/sec", "legacy ns/round", "speedup", "vs t1"
     );
     for r in &suite.results {
         let fmt_opt = |x: Option<f64>| x.map_or("-".to_string(), |v| format!("{v:.0}"));
+        let fmt_ratio = |x: Option<f64>| x.map_or("-".to_string(), |s| format!("{s:.2}x"));
         println!(
-            "{:<14} {:>9} {:>8} {:>12.0} {:>14} {:>16} {:>10}",
+            "{:<22} {:>9} {:>8} {:>12.0} {:>14} {:>16} {:>10} {:>8}",
             r.name,
             r.n,
             r.rounds,
             r.median_ns_per_round,
             fmt_opt(r.messages_per_sec),
             fmt_opt(r.legacy_median_ns_per_round),
-            r.speedup_vs_legacy.map_or("-".to_string(), |s| format!("{s:.2}x")),
+            fmt_ratio(r.speedup_vs_legacy),
+            fmt_ratio(r.speedup_vs_t1),
         );
     }
     for r in &suite.results {

@@ -59,6 +59,9 @@ pub struct BenchResult {
     pub legacy_median_ns_per_round: Option<f64>,
     /// `legacy_median_ns_per_round / median_ns_per_round`.
     pub speedup_vs_legacy: Option<f64>,
+    /// For `*_scaling_tN` workloads: the 1-thread median ns/round of the
+    /// same workload divided by this row's — >1 means parallelism wins.
+    pub speedup_vs_t1: Option<f64>,
     /// Modeled heap allocations per round, new engine (spilled messages
     /// only; 0 for CONGEST-size payloads).
     pub modeled_allocs_per_round: Option<u64>,
@@ -85,6 +88,7 @@ impl Serialize for BenchResult {
         opt("messages_per_sec", self.messages_per_sec.map(|x| x.to_value()));
         opt("legacy_median_ns_per_round", self.legacy_median_ns_per_round.map(|x| x.to_value()));
         opt("speedup_vs_legacy", self.speedup_vs_legacy.map(|x| x.to_value()));
+        opt("speedup_vs_t1", self.speedup_vs_t1.map(|x| x.to_value()));
         opt("modeled_allocs_per_round", self.modeled_allocs_per_round.map(|x| x.to_value()));
         opt(
             "modeled_allocs_per_round_legacy",
@@ -267,6 +271,25 @@ fn flood_legacy(g: &Graph, rounds: usize) -> RoundStats {
     net.stats()
 }
 
+/// The same all-port gossip as [`flood_new`], but run as **one
+/// `run_state` batch** on the network's worker pool: per-vertex digests
+/// are the batch state, so this measures the persistent-pool engine
+/// (parked workers, rendezvous wakeups, chunked arenas) rather than the
+/// sequential `step` path.
+fn flood_batch(g: &Graph, rounds: usize, exec: ExecConfig) -> RoundStats {
+    let mut net = Network::with_exec(g, Model::congest(), exec);
+    let mut digests: Vec<u64> = vec![0x9E37_79B9_7F4A_7C15; g.n()];
+    net.run_state(rounds, &mut digests, |h, v, inbox, out| {
+        for m in inbox.iter().flatten() {
+            *h = h.rotate_left(7) ^ m[0].wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        }
+        for p in 0..out.ports() {
+            out.send(p, [*h ^ v as u64 ^ p as u64]);
+        }
+    });
+    net.stats()
+}
+
 /// Charged-walk-style forwarding: each vertex carries tokens and forwards
 /// one per round as a 2-word `[token, steps]` message on a deterministic
 /// rotating port — the message shape of Lemma 2.4 routing, sitting exactly
@@ -364,6 +387,7 @@ fn engine_result(
         messages_per_sec: Some(stats.messages as f64 / (new_ns / 1e9)),
         legacy_median_ns_per_round: Some(old_per_round),
         speedup_vs_legacy: Some(old_per_round / new_per_round),
+        speedup_vs_t1: None,
         // new path: all payloads here are 1–2 words -> inline, pooled grids
         modeled_allocs_per_round: Some(0),
         // legacy path: one Vec per message + two fresh grids (n rows each
@@ -413,6 +437,7 @@ pub fn run_suite(quick: bool) -> Suite {
         messages_per_sec: None,
         legacy_median_ns_per_round: None,
         speedup_vs_legacy: None,
+        speedup_vs_t1: None,
         modeled_allocs_per_round: None,
         modeled_allocs_per_round_legacy: None,
     });
@@ -421,6 +446,7 @@ pub fn run_suite(quick: bool) -> Suite {
     let mut rng = gen::seeded_rng(0x601D);
     let fw_graph = gen::random_planar(if quick { 200 } else { 600 }, 0.5, &mut rng);
     let fw_iters = if quick { 3 } else { 5 };
+    let mut fw_t1 = None;
     for threads in [1usize, 2, 4] {
         let config = FrameworkConfig {
             exec: ExecConfig::with_threads(threads),
@@ -428,16 +454,87 @@ pub fn run_suite(quick: bool) -> Suite {
         };
         let (ns, stats) = time_iters(fw_iters, || run_framework(&fw_graph, &config).stats);
         let r = stats.rounds.max(1);
+        let per_round = ns / r as f64;
+        if threads == 1 {
+            fw_t1 = Some(per_round);
+        }
         results.push(BenchResult {
             name: format!("framework_t{threads}"),
             n: fw_graph.n(),
             rounds: stats.rounds,
             messages: stats.messages,
             median_ns: ns,
-            median_ns_per_round: ns / r as f64,
+            median_ns_per_round: per_round,
             messages_per_sec: Some(stats.messages as f64 / (ns / 1e9)),
             legacy_median_ns_per_round: None,
             speedup_vs_legacy: None,
+            speedup_vs_t1: fw_t1.map(|b| b / per_round),
+            modeled_allocs_per_round: None,
+            modeled_allocs_per_round_legacy: None,
+        });
+    }
+
+    // scaling: the persistent-pool batch engine (`run_state`) and the full
+    // framework at 1/2/4 workers on inputs big enough to clear the adaptive
+    // work threshold, so the pool genuinely engages. Each t-row carries
+    // `speedup_vs_t1`, the ratio CI gates on: a decay means per-round pool
+    // overhead crept back in (the regression the pool was built to kill).
+    let s_side = if quick { 48 } else { 110 };
+    let s_rounds = if quick { 30 } else { 60 };
+    let s_torus = gen::torus_grid(s_side, s_side);
+    let mut flood_t1: Option<(f64, RoundStats)> = None;
+    for threads in [1usize, 2, 4] {
+        let (ns, stats) =
+            time_iters(iters, || flood_batch(&s_torus, s_rounds, ExecConfig::with_threads(threads)));
+        let per_round = ns / stats.rounds.max(1) as f64;
+        if let Some((_, s1)) = &flood_t1 {
+            // the batch engine must be bit-deterministic across thread counts
+            lcg_congest::stats::compare(s1, &stats).unwrap_or_else(|e| {
+                panic!("flood_scaling_t{threads} diverged from the 1-thread run: {e}")
+            });
+        } else {
+            flood_t1 = Some((per_round, stats));
+        }
+        results.push(BenchResult {
+            name: format!("flood_scaling_t{threads}"),
+            n: s_torus.n(),
+            rounds: stats.rounds,
+            messages: stats.messages,
+            median_ns: ns,
+            median_ns_per_round: per_round,
+            messages_per_sec: Some(stats.messages as f64 / (ns / 1e9)),
+            legacy_median_ns_per_round: None,
+            speedup_vs_legacy: None,
+            speedup_vs_t1: flood_t1.as_ref().map(|(b, _)| b / per_round),
+            modeled_allocs_per_round: None,
+            modeled_allocs_per_round_legacy: None,
+        });
+    }
+
+    let mut rng = gen::seeded_rng(0x5CA1);
+    let fws_graph = gen::random_planar(if quick { 400 } else { 1200 }, 0.5, &mut rng);
+    let mut fws_t1 = None;
+    for threads in [1usize, 2, 4] {
+        let config = FrameworkConfig {
+            exec: ExecConfig::with_threads(threads),
+            ..FrameworkConfig::planar(0.3, 5)
+        };
+        let (ns, stats) = time_iters(fw_iters, || run_framework(&fws_graph, &config).stats);
+        let per_round = ns / stats.rounds.max(1) as f64;
+        if threads == 1 {
+            fws_t1 = Some(per_round);
+        }
+        results.push(BenchResult {
+            name: format!("framework_scaling_t{threads}"),
+            n: fws_graph.n(),
+            rounds: stats.rounds,
+            messages: stats.messages,
+            median_ns: ns,
+            median_ns_per_round: per_round,
+            messages_per_sec: Some(stats.messages as f64 / (ns / 1e9)),
+            legacy_median_ns_per_round: None,
+            speedup_vs_legacy: None,
+            speedup_vs_t1: fws_t1.map(|b| b / per_round),
             modeled_allocs_per_round: None,
             modeled_allocs_per_round_legacy: None,
         });
@@ -452,9 +549,12 @@ pub fn run_suite(quick: bool) -> Suite {
 
 /// Compares `current` against a committed baseline JSON (as produced by
 /// `--json`): every workload present in both with a `speedup_vs_legacy`
-/// ratio must not decay by more than `tolerance` (e.g. `0.25` = 25%).
-/// Ratios are compared — not wall times — so the gate is insensitive to
-/// runner speed. Returns the list of failures (empty = pass).
+/// or `speedup_vs_t1` ratio must not decay by more than `tolerance`
+/// (e.g. `0.25` = 25%). Ratios are compared — not wall times — so the
+/// gate is insensitive to runner speed; the `speedup_vs_t1` clause is the
+/// scaling gate: it fires when multi-thread rounds get slower *relative
+/// to the same run's 1-thread rounds*, i.e. when per-round pool overhead
+/// regresses. Returns the list of failures (empty = pass).
 pub fn check_regression(current: &Suite, baseline: &Value, tolerance: f64) -> Vec<String> {
     let mut failures = Vec::new();
     let baseline_results = match baseline.get("results") {
@@ -462,26 +562,30 @@ pub fn check_regression(current: &Suite, baseline: &Value, tolerance: f64) -> Ve
         _ => return vec!["baseline has no `results` array".to_string()],
     };
     for r in &current.results {
-        let Some(cur) = r.speedup_vs_legacy else { continue };
-        let base = baseline_results.iter().find_map(|b| {
-            let name = b.get("name").and_then(|v| match v {
-                Value::Str(s) => Some(s.as_str()),
-                _ => None,
-            })?;
-            if name == r.name {
-                b.get("speedup_vs_legacy").and_then(Value::as_f64)
-            } else {
-                None
+        let ratios =
+            [("speedup_vs_legacy", r.speedup_vs_legacy), ("speedup_vs_t1", r.speedup_vs_t1)];
+        for (kind, cur) in ratios {
+            let Some(cur) = cur else { continue };
+            let base = baseline_results.iter().find_map(|b| {
+                let name = b.get("name").and_then(|v| match v {
+                    Value::Str(s) => Some(s.as_str()),
+                    _ => None,
+                })?;
+                if name == r.name {
+                    b.get(kind).and_then(Value::as_f64)
+                } else {
+                    None
+                }
+            });
+            let Some(base) = base else { continue };
+            let floor = base * (1.0 - tolerance);
+            if cur < floor {
+                failures.push(format!(
+                    "{}: {kind} {cur:.3} fell below {floor:.3} \
+                     (baseline {base:.3}, tolerance {tolerance})",
+                    r.name
+                ));
             }
-        });
-        let Some(base) = base else { continue };
-        let floor = base * (1.0 - tolerance);
-        if cur < floor {
-            failures.push(format!(
-                "{}: speedup_vs_legacy {cur:.3} fell below {floor:.3} \
-                 (baseline {base:.3}, tolerance {tolerance})",
-                r.name
-            ));
         }
     }
     failures
@@ -521,6 +625,7 @@ mod tests {
                 messages_per_sec: Some(1.0),
                 legacy_median_ns_per_round: Some(2.0),
                 speedup_vs_legacy: Some(2.0),
+                speedup_vs_t1: Some(1.5),
                 modeled_allocs_per_round: Some(0),
                 modeled_allocs_per_round_legacy: Some(3),
             }],
@@ -533,6 +638,13 @@ mod tests {
         let failures = check_regression(&decayed, &self_baseline, 0.25);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("flood"));
+
+        // the scaling ratio is gated independently of the legacy ratio
+        let mut scaling_decay = suite.clone();
+        scaling_decay.results[0].speedup_vs_t1 = Some(1.0); // -33% vs baseline 1.5
+        let failures = check_regression(&scaling_decay, &self_baseline, 0.25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("speedup_vs_t1"));
         // and a missing baseline entry is not a failure
         let renamed = Suite {
             results: vec![BenchResult { name: "other".to_string(), ..suite.results[0].clone() }],

@@ -106,8 +106,9 @@ pub fn run_programs<P: NodeProgram>(
 
 /// Like [`run_programs`], but executed on the network's configured thread
 /// pool ([`crate::ExecConfig`]): each node's program, context, RNG, and
-/// inbox live in a per-vertex state record, so rounds run through
-/// [`Network::exchange_state`] and parallelize across vertices.
+/// inbox live in a per-vertex state record, so the whole run is one
+/// [`Network::exchange_rounds`] batch — workers spawn once and stay
+/// parked between rounds instead of being respawned every round.
 ///
 /// Requires `P: Send` (states migrate to worker threads). Outputs and
 /// [`crate::RoundStats`] are bit-identical to [`run_programs`] for every
@@ -149,35 +150,32 @@ where
             inbox: vec![None; net.graph().degree(v)],
         })
         .collect();
-    for round in 0..max_rounds {
-        if states.iter().all(|s| !s.running) {
-            break;
-        }
-        net.exchange_state(
-            &mut states,
-            |s, _v, out| {
-                if s.running {
-                    // disjoint field borrows: program + ctx mutable, inbox shared
-                    let keep = s.program.round(&mut s.ctx, round, &s.inbox, out);
-                    if !keep {
-                        s.running = false;
-                    }
+    net.exchange_rounds(
+        max_rounds,
+        &mut states,
+        |s, round, _v, out| {
+            if s.running {
+                // disjoint field borrows: program + ctx mutable, inbox shared
+                let keep = s.program.round(&mut s.ctx, round, &s.inbox, out);
+                if !keep {
+                    s.running = false;
                 }
-            },
-            |s, _v, inbox| {
-                for (p, m) in inbox.iter().enumerate() {
-                    s.inbox[p] = m.clone();
-                }
-            },
-        );
-    }
+            }
+        },
+        |s, _round, _v, inbox| {
+            for (p, m) in inbox.iter().enumerate() {
+                s.inbox[p] = m.clone();
+            }
+        },
+        |s| !s.running,
+    );
     states.iter().map(|s| s.program.output(&s.ctx)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::ExecConfig;
+    use crate::executor::ExecConfig;
     use crate::model::Model;
     use lcg_graph::gen;
 

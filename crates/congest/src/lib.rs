@@ -33,7 +33,7 @@
 //! ```
 
 pub mod algorithm;
-pub mod exec;
+pub mod executor;
 pub mod faults;
 mod model;
 pub mod msg;
@@ -42,7 +42,7 @@ pub mod primitives;
 pub mod stats;
 
 pub use algorithm::{run_programs, run_programs_state, NodeCtx, NodeProgram};
-pub use exec::ExecConfig;
+pub use executor::ExecConfig;
 pub use faults::{FaultPlan, LinkFailure, NodeCrash};
 pub use model::Model;
 pub use msg::{Msg, INLINE_WORDS};

@@ -17,14 +17,29 @@
 //! so that **results and [`RoundStats`] are bit-identical for every thread
 //! count**:
 //!
-//! 1. vertices are partitioned into contiguous chunks, one per worker;
-//! 2. each worker writes outboxes into its own chunk of the outbox buffer
+//! 1. vertices are partitioned into contiguous chunks, one per worker
+//!    ([`ExecConfig::par_chunks`], which also implements the adaptive
+//!    sequential fallback: below the work threshold no worker is woken);
+//! 2. each worker writes outboxes into its own chunk of the outbox arena
 //!    and tallies `messages`/`words`/`max_words` into a chunk-local
-//!    counter — no shared atomics on the hot path;
-//! 3. at the join barrier the chunk counters are merged in chunk order
+//!    counter — no shared atomics, no locks on the hot path;
+//! 3. at the round barrier the chunk counters are merged in chunk order
 //!    (sums and maxima, so the result equals the sequential tally), and
-//!    messages are delivered into `pending` by a deterministic
-//!    vertex-order sweep.
+//!    messages are delivered by a deterministic vertex-order sweep —
+//!    chunk-major over the arenas, which *is* vertex order because chunks
+//!    are contiguous and ascending.
+//!
+//! Multi-round entry points ([`Network::run_state`],
+//! [`Network::exchange_rounds`], and everything built on them) execute as
+//! one **batch** on the persistent worker pool
+//! (`crate::executor::pool::run_batch`): workers are spawned once per
+//! batch, own their state chunk throughout, and park on a rendezvous
+//! between rounds — so the per-round cost is a channel send, not a thread
+//! spawn. Single-shot paths share the same pool machinery one round at a
+//! time. A panic inside a worker (e.g. a CONGEST capacity violation)
+//! re-raises on the caller's thread with its original payload after the
+//! pool is torn down — cleanly poisoned, never a hang — and the network
+//! remains usable (DESIGN §11).
 //!
 //! Two API families exist because parallelism needs `Fn + Sync`:
 //!
@@ -46,7 +61,7 @@
 use lcg_graph::Graph;
 use lcg_trace::{SpanId, Tracer};
 
-use crate::exec::ExecConfig;
+use crate::executor::{chunk_of, pool, ExecConfig};
 use crate::faults::{FaultPlan, FaultState, FaultVerdict};
 use crate::model::Model;
 use crate::msg::Msg;
@@ -241,9 +256,42 @@ impl ChunkCounters {
     }
 }
 
+/// Splits a slice into per-chunk mutable sub-slices (chunk order).
+fn split_rows<'a, T>(rows: &'a mut [T], chunks: &[std::ops::Range<usize>]) -> Vec<&'a mut [T]> {
+    let mut parts = Vec::with_capacity(chunks.len());
+    let mut rest = rows;
+    for r in chunks {
+        let (head, tail) = rest.split_at_mut(r.len());
+        parts.push(head);
+        rest = tail;
+    }
+    parts
+}
+
+/// Moves a grid's rows into per-chunk grids (row `Vec`s move, O(n) pointer
+/// shuffling, no message copies).
+fn chunk_grid(mut grid: Grid, chunks: &[std::ops::Range<usize>]) -> Vec<Grid> {
+    let mut rows = grid.drain(..);
+    chunks.iter().map(|r| rows.by_ref().take(r.len()).collect()).collect()
+}
+
+/// Reassembles per-chunk grids into one grid, in chunk order (the inverse
+/// of [`chunk_grid`]).
+fn unchunk_grid(parts: Vec<Grid>) -> Grid {
+    let mut grid: Grid = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for part in parts {
+        grid.extend(part);
+    }
+    grid
+}
+
 /// Runs the send closure over every vertex, chunked across the configured
 /// threads, writing outboxes and chunk-local counters. Free function (not
 /// a method) so it borrows only the pieces of the network it needs.
+///
+/// Single-round paths go through a one-round batch on the worker pool;
+/// multi-round paths (`run_state`, `exchange_rounds`) keep the pool alive
+/// across rounds instead of re-entering here.
 fn compose_outboxes<S, F>(
     exec: &ExecConfig,
     cap: Option<usize>,
@@ -257,8 +305,7 @@ where
     F: Fn(&mut S, usize, &Inbox, &mut Outbox) + Sync,
 {
     let n = states.len();
-    let chunks = exec.chunks(n);
-    if chunks.len() <= 1 {
+    let Some(chunks) = exec.par_chunks(n) else {
         let mut counters = ChunkCounters::default();
         for (v, (state, slots)) in states.iter_mut().zip(outgoing.iter_mut()).enumerate() {
             let mut out = Outbox { slots, capacity: cap, vertex: v };
@@ -266,45 +313,38 @@ where
             counters.count(slots);
         }
         return counters;
-    }
-    let mut counters = vec![ChunkCounters::default(); chunks.len()];
-    std::thread::scope(|scope| {
-        let mut states_rest = states;
-        let mut outgoing_rest = outgoing;
-        let mut handles = Vec::with_capacity(chunks.len());
-        for (range, counter) in chunks.iter().zip(counters.iter_mut()) {
-            let (states_chunk, tail) = states_rest.split_at_mut(range.len());
-            states_rest = tail;
-            let (out_chunk, tail) = outgoing_rest.split_at_mut(range.len());
-            outgoing_rest = tail;
-            let start = range.start;
-            handles.push(scope.spawn(move || {
-                let mut local = ChunkCounters::default();
-                for (i, (state, slots)) in
-                    states_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
-                {
-                    let v = start + i;
-                    let mut out = Outbox { slots, capacity: cap, vertex: v };
-                    f(state, v, &inboxes[v], &mut out);
-                    local.count(slots);
-                }
-                *counter = local;
-            }));
+    };
+    // one-round batch: each job moves the chunk's outbox rows (owned row
+    // vectors — O(chunk) pointer moves, no message copies) to a worker
+    // and back, with a chunk-local counter riding along
+    let mut out_parts = split_rows(outgoing, &chunks);
+    let worker = |_w: usize,
+                  range: std::ops::Range<usize>,
+                  states: &mut [S],
+                  (mut rows, mut counters): (Vec<Vec<Option<Message>>>, ChunkCounters)| {
+        for (i, (state, slots)) in states.iter_mut().zip(rows.iter_mut()).enumerate() {
+            let v = range.start + i;
+            let mut out = Outbox { slots, capacity: cap, vertex: v };
+            f(state, v, &inboxes[v], &mut out);
+            counters.count(slots);
         }
-        // the join is the barrier; joining explicitly (in chunk order)
-        // lets a worker panic — e.g. a CONGEST violation — re-raise on
-        // the caller's thread with its original payload, never a hang
-        for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
+        (rows, counters)
+    };
+    pool::run_batch(&chunks, states, &worker, |pool| {
+        for (i, part) in out_parts.iter_mut().enumerate() {
+            let rows: Vec<Vec<Option<Message>>> = part.iter_mut().map(std::mem::take).collect();
+            pool.dispatch(i, (rows, ChunkCounters::default()));
+        }
+        let mut total = ChunkCounters::default();
+        for (i, part) in out_parts.iter_mut().enumerate() {
+            let (rows, counters) = pool.collect(i);
+            for (slot, row) in part.iter_mut().zip(rows) {
+                *slot = row;
             }
+            total.merge(&counters);
         }
-    });
-    let mut total = ChunkCounters::default();
-    for c in &counters {
-        total.merge(c);
-    }
-    total
+        total
+    })
 }
 
 /// Runs a receive closure over every vertex, chunked across threads.
@@ -314,30 +354,25 @@ where
     R: Fn(&mut S, usize, &Inbox) + Sync,
 {
     let n = states.len();
-    let chunks = exec.chunks(n);
-    if chunks.len() <= 1 {
+    let Some(chunks) = exec.par_chunks(n) else {
         for (v, state) in states.iter_mut().enumerate() {
             r(state, v, &inboxes[v]);
         }
         return;
-    }
-    std::thread::scope(|scope| {
-        let mut states_rest = states;
-        let mut handles = Vec::with_capacity(chunks.len());
-        for range in &chunks {
-            let (states_chunk, tail) = states_rest.split_at_mut(range.len());
-            states_rest = tail;
-            let start = range.start;
-            handles.push(scope.spawn(move || {
-                for (i, state) in states_chunk.iter_mut().enumerate() {
-                    r(state, start + i, &inboxes[start + i]);
-                }
-            }));
+    };
+    let worker = |_w: usize, range: std::ops::Range<usize>, states: &mut [S], job: ()| {
+        for (i, state) in states.iter_mut().enumerate() {
+            let v = range.start + i;
+            r(state, v, &inboxes[v]);
         }
-        for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
-            }
+        job
+    };
+    pool::run_batch(&chunks, states, &worker, |pool| {
+        for i in 0..pool.workers() {
+            pool.dispatch(i, ());
+        }
+        for i in 0..pool.workers() {
+            pool.collect(i);
         }
     });
 }
@@ -345,27 +380,32 @@ where
 /// The delivery sweep under an installed fault plan: every taken message
 /// is adjudicated by the compiled schedule — destroyed messages are
 /// tallied (by cause) instead of delivered, surviving messages are
-/// truncated to the plan's capacity cap when one is set. Shared by both
-/// delivery paths (`deliver` writes into `pending`, `route_exchange` into
-/// fresh inboxes). Tracer edge loads count *delivered* words, so traces
-/// show the traffic that actually arrived; the compose-barrier statistics
-/// still count everything *sent*, preserving their meaning.
+/// truncated to the plan's capacity cap when one is set. Shared by every
+/// delivery path via [`sweep`]: `rows` yields `(vertex, outbox_row)` in
+/// ascending vertex order, `put(u, q, msg)` stores a delivered message at
+/// the receiver's `(vertex, port)`. Tracer edge loads count *delivered*
+/// words, so traces show the traffic that actually arrived; the
+/// compose-barrier statistics still count everything *sent*, preserving
+/// their meaning.
 #[allow(clippy::too_many_arguments)] // borrow-split pieces of one Network
-fn faulty_sweep(
+fn faulty_sweep<'r, I, P>(
     round: u64,
     fs: &FaultState,
     reverse: &[Vec<(usize, usize)>],
     edge_of: &[Vec<usize>],
     tracer: &mut Option<Tracer>,
     stats: &mut RoundStats,
-    outgoing: &mut [Vec<Option<Message>>],
-    target: &mut [Vec<Option<Message>>],
-) {
+    rows: I,
+    mut put: P,
+) where
+    I: Iterator<Item = (usize, &'r mut Vec<Option<Msg>>)>,
+    P: FnMut(usize, usize, Msg),
+{
     let cap = fs.truncate_words();
     let (mut dropped, mut link, mut crashed, mut truncated) = (0u64, 0u64, 0u64, 0u64);
     {
         let mut track = tracer.as_mut().filter(|t| t.records_edge_loads());
-        for (v, out_v) in outgoing.iter_mut().enumerate() {
+        for (v, out_v) in rows {
             for (p, slot) in out_v.iter_mut().enumerate() {
                 if let Some(mut msg) = slot.take() {
                     let (u, q) = reverse[v][p];
@@ -393,7 +433,7 @@ fn faulty_sweep(
                     if let Some(t) = track.as_mut() {
                         t.add_edge_words(edge_of[v][p], msg.len() as u64);
                     }
-                    target[u][q] = Some(msg);
+                    put(u, q, msg);
                 }
             }
         }
@@ -410,6 +450,124 @@ fn faulty_sweep(
             }
         }
     }
+}
+
+/// The fault-free delivery sweep over `rows` (same contract as
+/// [`faulty_sweep`] minus adjudication): pure moves, plus per-edge load
+/// tallies when a tracer asked for them.
+fn sweep_rows<'r, I, P>(
+    rows: I,
+    reverse: &[Vec<(usize, usize)>],
+    edge_of: &[Vec<usize>],
+    tracer: &mut Option<Tracer>,
+    mut put: P,
+) where
+    I: Iterator<Item = (usize, &'r mut Vec<Option<Msg>>)>,
+    P: FnMut(usize, usize, Msg),
+{
+    let mut track = tracer.as_mut().filter(|t| t.records_edge_loads());
+    for (v, out_v) in rows {
+        for (p, slot) in out_v.iter_mut().enumerate() {
+            if let Some(msg) = slot.take() {
+                if let Some(t) = track.as_mut() {
+                    t.add_edge_words(edge_of[v][p], msg.len() as u64);
+                }
+                let (u, q) = reverse[v][p];
+                put(u, q, msg);
+            }
+        }
+    }
+}
+
+/// Delivery-sweep dispatcher: fault-adjudicated when a plan is installed,
+/// plain moves otherwise. `rows` must yield outbox rows in ascending
+/// vertex order — that ordering is the entire determinism argument, and it
+/// holds equally for a whole-grid iteration and for a chunk-major
+/// iteration over contiguous ascending chunks.
+#[allow(clippy::too_many_arguments)] // borrow-split pieces of one Network
+fn sweep<'r, I, P>(
+    round: u64,
+    faults: Option<&FaultState>,
+    reverse: &[Vec<(usize, usize)>],
+    edge_of: &[Vec<usize>],
+    tracer: &mut Option<Tracer>,
+    stats: &mut RoundStats,
+    rows: I,
+    put: P,
+) where
+    I: Iterator<Item = (usize, &'r mut Vec<Option<Msg>>)>,
+    P: FnMut(usize, usize, Msg),
+{
+    match faults {
+        Some(fs) => faulty_sweep(round, fs, reverse, edge_of, tracer, stats, rows, put),
+        None => sweep_rows(rows, reverse, edge_of, tracer, put),
+    }
+}
+
+/// Chunk-major delivery sweep for the batch engine: `sources` are the
+/// per-chunk outbox arenas, `targets` the per-chunk destination grids of
+/// the same partition. Iterating the sources chunk-major *is* ascending
+/// vertex order (chunks are contiguous and ascending), and the receiving
+/// chunk is located in O(1) by [`chunk_of`] — so this is bit-identical to
+/// the whole-grid sweep the one-shot paths run.
+#[allow(clippy::too_many_arguments)] // borrow-split pieces of one Network
+fn deliver_chunked(
+    round: u64,
+    n: usize,
+    chunks: &[std::ops::Range<usize>],
+    sources: &mut [Grid],
+    targets: &mut [Grid],
+    faults: Option<&FaultState>,
+    reverse: &[Vec<(usize, usize)>],
+    edge_of: &[Vec<usize>],
+    tracer: &mut Option<Tracer>,
+    stats: &mut RoundStats,
+) {
+    let k = chunks.len();
+    let rows = sources.iter_mut().zip(chunks).flat_map(|(part, r)| {
+        part.iter_mut().enumerate().map(move |(i, row)| (r.start + i, row))
+    });
+    let put = |u: usize, q: usize, msg: Msg| {
+        let (c, off) = chunk_of(n, k, u);
+        targets[c][off][q] = Some(msg);
+    };
+    sweep(round, faults, reverse, edge_of, tracer, stats, rows, put);
+}
+
+/// Folds one round's compose counters into the running statistics and the
+/// attached trace. Free function so the batch engine can call it while the
+/// network is borrow-split.
+fn account_round(stats: &mut RoundStats, tracer: &mut Option<Tracer>, counters: ChunkCounters) {
+    stats.messages += counters.messages;
+    stats.words += counters.words;
+    stats.max_words_edge_round = stats.max_words_edge_round.max(counters.max_words);
+    stats.rounds += 1;
+    if let Some(t) = tracer.as_mut() {
+        t.record_round(counters.messages, counters.words, counters.max_words);
+    }
+}
+
+/// One round's worth of buffers for one chunk, moved leader → worker →
+/// leader through the batch engine's rendezvous lanes (`run_state` path).
+struct StepJob {
+    /// The chunk's inbox rows: read by the step closure, then cleared by
+    /// the worker so the leader can deliver the new round's messages into
+    /// them — the worker-side clear is what keeps the round barrier free
+    /// of a separate recycle pass.
+    inbox: Grid,
+    /// The chunk's outbox arena rows, filled by the step closure.
+    arena: Grid,
+    /// Chunk-local message counters.
+    counters: ChunkCounters,
+}
+
+/// One phase's buffers for one chunk on the `exchange_rounds` path.
+enum XchgJob {
+    /// Compose phase: run `send` over the chunk, fill the arena, count.
+    Send { round: usize, arena: Grid, counters: ChunkCounters },
+    /// Consume phase: run `recv` over the delivered inbox rows, clear
+    /// them, and report whether every vertex of the chunk has halted.
+    Recv { round: usize, inbox: Grid, all_halted: bool },
 }
 
 impl<'g> Network<'g> {
@@ -607,33 +765,21 @@ impl<'g> Network<'g> {
         // `stats.rounds` is the 0-based index of the round being delivered.
         let round = self.stats.rounds;
         let Network { pending, reverse, tracer, edge_of, faults, stats, .. } = self;
-        if let Some(fs) = faults {
-            faulty_sweep(round, fs, reverse, edge_of, tracer, stats, outgoing, pending);
-            return;
-        }
-        let mut track = tracer.as_mut().filter(|t| t.records_edge_loads());
-        for (v, out_v) in outgoing.iter_mut().enumerate() {
-            for (p, slot) in out_v.iter_mut().enumerate() {
-                if let Some(msg) = slot.take() {
-                    if let Some(t) = track.as_mut() {
-                        t.add_edge_words(edge_of[v][p], msg.len() as u64);
-                    }
-                    let (u, q) = reverse[v][p];
-                    pending[u][q] = Some(msg);
-                }
-            }
-        }
+        sweep(
+            round,
+            faults.as_ref(),
+            reverse,
+            edge_of,
+            tracer,
+            stats,
+            outgoing.iter_mut().enumerate(),
+            |u, q, msg| pending[u][q] = Some(msg),
+        );
     }
 
     /// Folds one round's counters into the running statistics.
     fn account(&mut self, counters: ChunkCounters) {
-        self.stats.messages += counters.messages;
-        self.stats.words += counters.words;
-        self.stats.max_words_edge_round = self.stats.max_words_edge_round.max(counters.max_words);
-        self.stats.rounds += 1;
-        if let Some(t) = self.tracer.as_mut() {
-            t.record_round(counters.messages, counters.words, counters.max_words);
-        }
+        account_round(&mut self.stats, &mut self.tracer, counters);
     }
 
     /// Executes one synchronous round.
@@ -745,14 +891,126 @@ impl<'g> Network<'g> {
 
     /// Runs `rounds` rounds of the same per-vertex-state closure on the
     /// configured thread pool.
+    ///
+    /// On the parallel path this is a single **batch** on the persistent
+    /// worker pool: workers spawn once, own their state chunk for all
+    /// rounds, and park on a rendezvous between rounds — the thread
+    /// spawn/join cost the one-shot path pays per round is paid once per
+    /// batch. Results and [`RoundStats`] stay bit-identical to `rounds`
+    /// sequential [`Network::step_state`] calls (which is exactly how the
+    /// sub-threshold fallback executes them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != n`. Worker panics re-raise with their
+    /// original payload after the pool is torn down (never a hang); the
+    /// network remains usable afterwards.
     pub fn run_state<S, F>(&mut self, rounds: usize, states: &mut [S], f: F)
     where
         S: Send,
         F: Fn(&mut S, usize, &Inbox, &mut Outbox) + Sync,
     {
-        for _ in 0..rounds {
-            self.step_state(states, &f);
+        assert_eq!(states.len(), self.g.n(), "one state per vertex");
+        match self.exec.par_chunks(self.g.n()) {
+            Some(chunks) if rounds > 0 => self.step_batch(rounds, &chunks, states, &f),
+            _ => {
+                for _ in 0..rounds {
+                    self.step_state(states, &f);
+                }
+            }
         }
+    }
+
+    /// The batch step engine behind [`Network::run_state`]: `rounds`
+    /// rounds on persistent workers. `pending` is swapped for a clean
+    /// pooled grid up front, so a panic unwinding out of the batch (pool
+    /// poisoned, the failed batch's in-flight messages dropped) still
+    /// leaves the network with correctly shaped buffers.
+    fn step_batch<S, F>(
+        &mut self,
+        rounds: usize,
+        chunks: &[std::ops::Range<usize>],
+        states: &mut [S],
+        f: &F,
+    ) where
+        S: Send,
+        F: Fn(&mut S, usize, &Inbox, &mut Outbox) + Sync,
+    {
+        let cap = self.model.capacity();
+        let g = self.g;
+        let n = g.n();
+        let placeholder = take_grid(g, &mut self.spare_inboxes);
+        let inflight = std::mem::replace(&mut self.pending, placeholder);
+        let arena = take_grid(g, &mut self.spare_outgoing);
+        let mut pending_parts = chunk_grid(inflight, chunks);
+        let mut arena_parts = chunk_grid(arena, chunks);
+        let Network { stats, tracer, reverse, edge_of, faults, .. } = &mut *self;
+        let worker = |_w: usize, range: std::ops::Range<usize>, states: &mut [S], mut job: StepJob| {
+            let mut counters = ChunkCounters::default();
+            for (i, (state, (inbox, slots))) in states
+                .iter_mut()
+                .zip(job.inbox.iter_mut().zip(job.arena.iter_mut()))
+                .enumerate()
+            {
+                let v = range.start + i;
+                let mut out = Outbox { slots, capacity: cap, vertex: v };
+                f(state, v, inbox, &mut out);
+                // consumed: clear the row so it can serve as this round's
+                // delivery target (same all-`None` state a recycle gives)
+                for s in inbox.iter_mut() {
+                    if s.is_some() {
+                        *s = None;
+                    }
+                }
+                counters.count(slots);
+            }
+            job.counters = counters;
+            job
+        };
+        pool::run_batch(chunks, states, &worker, |pool| {
+            for _ in 0..rounds {
+                for (i, (inbox, arena)) in
+                    pending_parts.iter_mut().zip(arena_parts.iter_mut()).enumerate()
+                {
+                    let job = StepJob {
+                        inbox: std::mem::take(inbox),
+                        arena: std::mem::take(arena),
+                        counters: ChunkCounters::default(),
+                    };
+                    pool.dispatch(i, job);
+                }
+                let mut total = ChunkCounters::default();
+                for (i, (inbox, arena)) in
+                    pending_parts.iter_mut().zip(arena_parts.iter_mut()).enumerate()
+                {
+                    let job = pool.collect(i);
+                    *inbox = job.inbox;
+                    *arena = job.arena;
+                    total.merge(&job.counters);
+                }
+                // deliver before account, exactly as the one-shot path
+                // orders them (`stats.rounds` = index of the round in flight)
+                let round = stats.rounds;
+                deliver_chunked(
+                    round,
+                    n,
+                    chunks,
+                    &mut arena_parts,
+                    &mut pending_parts,
+                    faults.as_ref(),
+                    reverse,
+                    edge_of,
+                    tracer,
+                    stats,
+                );
+                account_round(stats, tracer, total);
+            }
+        });
+        // batch done: the reassembled inbox parts are the live `pending`
+        // grid; the placeholder and the arena go back to the pool
+        let placeholder = std::mem::replace(&mut self.pending, unchunk_grid(pending_parts));
+        recycle_grid(&mut self.spare_inboxes, placeholder);
+        recycle_grid(&mut self.spare_outgoing, unchunk_grid(arena_parts));
     }
 
     /// Executes one synchronous round with the *standard* round structure:
@@ -834,6 +1092,192 @@ impl<'g> Network<'g> {
         recycle_grid(&mut self.spare_outgoing, outgoing);
     }
 
+    /// Runs up to `max_rounds` standard exchange rounds
+    /// ([`Network::exchange_state`] semantics) as one **batch** on the
+    /// persistent worker pool, stopping early once every vertex reports
+    /// halted. Per round: `send(state, round, v, outbox)` composes, the
+    /// engine delivers (fault adjudication and tracing included), then
+    /// `recv(state, round, v, inbox)` consumes. `halted` is evaluated on
+    /// each state as the previous round left it — a network that is
+    /// quiescent on entry executes zero rounds. Returns the number of
+    /// rounds executed.
+    ///
+    /// This is the multi-round driver the paper's flood/peel/walk loops
+    /// run on: one batch amortizes the worker spawn across the whole loop,
+    /// and the per-chunk halt votes replace the leader-side all-vertices
+    /// scan. Results and [`RoundStats`] are bit-identical to the
+    /// equivalent sequential loop over [`Network::exchange_state`] at
+    /// every thread count — which is exactly how the sub-threshold
+    /// fallback executes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != n`. Worker panics re-raise with their
+    /// original payload after the pool is torn down (never a hang); the
+    /// network remains usable afterwards.
+    pub fn exchange_rounds<St, S, R, H>(
+        &mut self,
+        max_rounds: usize,
+        states: &mut [St],
+        send: S,
+        recv: R,
+        halted: H,
+    ) -> u64
+    where
+        St: Send,
+        S: Fn(&mut St, usize, usize, &mut Outbox) + Sync,
+        R: Fn(&mut St, usize, usize, &Inbox) + Sync,
+        H: Fn(&St) -> bool + Sync,
+    {
+        assert_eq!(states.len(), self.g.n(), "one state per vertex");
+        let Some(chunks) = self.exec.par_chunks(self.g.n()) else {
+            let mut executed = 0u64;
+            for round in 0..max_rounds {
+                if states.iter().all(&halted) {
+                    break;
+                }
+                self.exchange_state(
+                    states,
+                    |s, v, out| send(s, round, v, out),
+                    |s, v, inbox| recv(s, round, v, inbox),
+                );
+                executed += 1;
+            }
+            return executed;
+        };
+        self.exchange_batch(max_rounds, &chunks, states, &send, &recv, &halted)
+    }
+
+    /// The batch engine behind [`Network::exchange_rounds`]: per round one
+    /// compose phase and one consume phase on the persistent workers, with
+    /// delivery and accounting on the leader between them.
+    fn exchange_batch<St, S, R, H>(
+        &mut self,
+        max_rounds: usize,
+        chunks: &[std::ops::Range<usize>],
+        states: &mut [St],
+        send: &S,
+        recv: &R,
+        halted: &H,
+    ) -> u64
+    where
+        St: Send,
+        S: Fn(&mut St, usize, usize, &mut Outbox) + Sync,
+        R: Fn(&mut St, usize, usize, &Inbox) + Sync,
+        H: Fn(&St) -> bool + Sync,
+    {
+        debug_assert!(
+            self.pending.iter().all(|ps| ps.iter().all(Option::is_none)),
+            "exchange_rounds called with undelivered step() messages pending"
+        );
+        let cap = self.model.capacity();
+        let g = self.g;
+        let n = g.n();
+        let arena = take_grid(g, &mut self.spare_outgoing);
+        let inboxes = take_grid(g, &mut self.spare_inboxes);
+        let mut arena_parts = chunk_grid(arena, chunks);
+        let mut inbox_parts = chunk_grid(inboxes, chunks);
+        let mut all_halted = states.iter().all(halted);
+        let Network { stats, tracer, reverse, edge_of, faults, .. } = &mut *self;
+        let worker = |_w: usize, range: std::ops::Range<usize>, states: &mut [St], job: XchgJob| {
+            match job {
+                XchgJob::Send { round, mut arena, .. } => {
+                    let mut counters = ChunkCounters::default();
+                    for (i, (state, slots)) in states.iter_mut().zip(arena.iter_mut()).enumerate() {
+                        let v = range.start + i;
+                        let mut out = Outbox { slots, capacity: cap, vertex: v };
+                        send(state, round, v, &mut out);
+                        counters.count(slots);
+                    }
+                    XchgJob::Send { round, arena, counters }
+                }
+                XchgJob::Recv { round, mut inbox, .. } => {
+                    for (i, (state, row)) in states.iter_mut().zip(inbox.iter_mut()).enumerate() {
+                        let v = range.start + i;
+                        recv(state, round, v, row);
+                        // consumed: clear for the next round's delivery
+                        for s in row.iter_mut() {
+                            if s.is_some() {
+                                *s = None;
+                            }
+                        }
+                    }
+                    let all_halted = states.iter().all(halted);
+                    XchgJob::Recv { round, inbox, all_halted }
+                }
+            }
+        };
+        let executed = pool::run_batch(chunks, states, &worker, |pool| {
+            let mut executed = 0u64;
+            for round in 0..max_rounds {
+                if all_halted {
+                    break;
+                }
+                // compose phase
+                for (i, arena) in arena_parts.iter_mut().enumerate() {
+                    let job = XchgJob::Send {
+                        round,
+                        arena: std::mem::take(arena),
+                        counters: ChunkCounters::default(),
+                    };
+                    pool.dispatch(i, job);
+                }
+                let mut total = ChunkCounters::default();
+                for (i, arena) in arena_parts.iter_mut().enumerate() {
+                    match pool.collect(i) {
+                        XchgJob::Send { arena: rows, counters, .. } => {
+                            *arena = rows;
+                            total.merge(&counters);
+                        }
+                        // the pool answers in dispatch order, so a compose
+                        // dispatch always collects a compose job
+                        XchgJob::Recv { .. } => unreachable!("compose phase collected a recv job"),
+                    }
+                }
+                // route + account between the phases, exactly as
+                // `exchange_state` orders them
+                let r0 = stats.rounds;
+                deliver_chunked(
+                    r0,
+                    n,
+                    chunks,
+                    &mut arena_parts,
+                    &mut inbox_parts,
+                    faults.as_ref(),
+                    reverse,
+                    edge_of,
+                    tracer,
+                    stats,
+                );
+                account_round(stats, tracer, total);
+                // consume phase; workers also vote on quiescence
+                for (i, inbox) in inbox_parts.iter_mut().enumerate() {
+                    let job = XchgJob::Recv {
+                        round,
+                        inbox: std::mem::take(inbox),
+                        all_halted: false,
+                    };
+                    pool.dispatch(i, job);
+                }
+                all_halted = true;
+                for (i, inbox) in inbox_parts.iter_mut().enumerate() {
+                    match pool.collect(i) {
+                        XchgJob::Recv { inbox: rows, all_halted: chunk_halted, .. } => {
+                            *inbox = rows;
+                            all_halted &= chunk_halted;
+                        }
+                        XchgJob::Send { .. } => unreachable!("consume phase collected a send job"),
+                    }
+                }
+                executed += 1;
+            }
+            executed
+        });
+        recycle_grid(&mut self.spare_outgoing, unchunk_grid(arena_parts));
+        recycle_grid(&mut self.spare_inboxes, unchunk_grid(inbox_parts));
+        executed
+    }
+
     /// Moves exchange outboxes to receiver-side `inboxes` (vertex order;
     /// pure moves, no counting — except per-edge load tallies when a
     /// tracer asked for them, and fault adjudication when a plan is
@@ -843,22 +1287,16 @@ impl<'g> Network<'g> {
         // the 0-based index of the round in flight
         let round = self.stats.rounds;
         let Network { reverse, tracer, edge_of, faults, stats, .. } = self;
-        if let Some(fs) = faults {
-            faulty_sweep(round, fs, reverse, edge_of, tracer, stats, outgoing, inboxes);
-            return;
-        }
-        let mut track = tracer.as_mut().filter(|t| t.records_edge_loads());
-        for (v, out_v) in outgoing.iter_mut().enumerate() {
-            for (p, slot) in out_v.iter_mut().enumerate() {
-                if let Some(msg) = slot.take() {
-                    if let Some(t) = track.as_mut() {
-                        t.add_edge_words(edge_of[v][p], msg.len() as u64);
-                    }
-                    let (u, q) = reverse[v][p];
-                    inboxes[u][q] = Some(msg);
-                }
-            }
-        }
+        sweep(
+            round,
+            faults.as_ref(),
+            reverse,
+            edge_of,
+            tracer,
+            stats,
+            outgoing.iter_mut().enumerate(),
+            |u, q, msg| inboxes[u][q] = Some(msg),
+        );
     }
 
     /// Merges externally-measured statistics into this network's counters

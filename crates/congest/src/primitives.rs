@@ -4,8 +4,12 @@
 //! Everything here is *cluster-aware*: the framework runs these primitives
 //! inside each cluster of an expander decomposition in parallel, so each
 //! primitive takes a [`Scope`] and only communicates along permitted edges.
-//! All primitives use [`Network::exchange`], the textbook round structure
-//! where information travels one hop per round.
+//! All primitives use the textbook exchange round structure where
+//! information travels one hop per round — either the sequential
+//! [`Network::exchange`] (snapshot-heavy orchestration loops) or the
+//! batched [`Network::exchange_rounds`] (per-vertex-state loops like
+//! max-flood and H-partition peeling, which then run on the persistent
+//! worker pool).
 
 use lcg_graph::Graph;
 
@@ -125,27 +129,31 @@ pub fn max_flood(
 ) -> Vec<(u64, usize)> {
     let n = net.graph().n();
     let nbrs = neighbor_lists(net.graph());
+    // Per-vertex state is the current best pair; the send phase reads the
+    // state as the previous round's recv left it, which is exactly the
+    // snapshot the old per-round loop copied — so the batch engine needs
+    // no snapshot at all, and the whole flood is one worker-pool batch.
     let mut best: Vec<(u64, usize)> = values.iter().copied().zip(0..n).collect();
-    for _ in 0..rounds {
-        let snap = best.clone();
-        net.exchange(
-            |v, out| {
-                for (p, &u) in nbrs[v].iter().enumerate() {
-                    if scope.allows(v, u) {
-                        out.send(p, [snap[v].0, snap[v].1 as u64]);
-                    }
+    net.exchange_rounds(
+        rounds,
+        &mut best,
+        |me, _round, v, out| {
+            for (p, &u) in nbrs[v].iter().enumerate() {
+                if scope.allows(v, u) {
+                    out.send(p, [me.0, me.1 as u64]);
                 }
-            },
-            |v, inbox| {
-                for m in inbox.iter().flatten() {
-                    let cand = (m[0], m[1] as usize);
-                    if cand > best[v] {
-                        best[v] = cand;
-                    }
+            }
+        },
+        |me, _round, _v, inbox| {
+            for m in inbox.iter().flatten() {
+                let cand = (m[0], m[1] as usize);
+                if cand > *me {
+                    *me = cand;
                 }
-            },
-        );
-    }
+            }
+        },
+        |_| false, // fixed round budget, no early quiescence
+    );
     best
 }
 
@@ -300,47 +308,50 @@ pub fn h_partition_distributed(
     max_layers: usize,
     scope: Scope,
 ) -> Vec<Option<usize>> {
+    /// Per-vertex peeling state: residual intra-scope degree, the adopted
+    /// layer, and whether the vertex announced a peel this round.
+    struct Peel {
+        residual: usize,
+        layer: Option<usize>,
+        peeling: bool,
+    }
     let n = net.graph().n();
     let nbrs = neighbor_lists(net.graph());
     let threshold = ((2.0 + epsilon) * d).floor() as usize;
-    let mut residual: Vec<usize> = (0..n)
-        .map(|v| {
-            nbrs[v]
-                .iter()
-                .filter(|&&u| scope.allows(v, u))
-                .count()
+    let mut states: Vec<Peel> = (0..n)
+        .map(|v| Peel {
+            residual: nbrs[v].iter().filter(|&&u| scope.allows(v, u)).count(),
+            layer: None,
+            peeling: false,
         })
         .collect();
-    let mut layer: Vec<Option<usize>> = vec![None; n];
-    for l in 0..max_layers {
-        if layer.iter().all(|x| x.is_some()) {
-            break;
-        }
-        let peel: Vec<bool> = (0..n)
-            .map(|v| layer[v].is_none() && residual[v] <= threshold)
-            .collect();
-        net.exchange(
-            |v, out| {
-                if peel[v] {
-                    for (p, &u) in nbrs[v].iter().enumerate() {
-                        if scope.allows(v, u) {
-                            out.send(p, [1]);
-                        }
+    // One batch: layer `l` is exchange round `l`, and the run quiesces as
+    // soon as every vertex is peeled — same rounds, messages, and layers
+    // as the old per-layer loop, now without respawning workers per layer.
+    net.exchange_rounds(
+        max_layers,
+        &mut states,
+        |s, _round, v, out| {
+            s.peeling = s.layer.is_none() && s.residual <= threshold;
+            if s.peeling {
+                for (p, &u) in nbrs[v].iter().enumerate() {
+                    if scope.allows(v, u) {
+                        out.send(p, [1]);
                     }
                 }
-            },
-            |v, inbox| {
-                let gone = inbox.iter().flatten().count();
-                residual[v] = residual[v].saturating_sub(gone);
-            },
-        );
-        for v in 0..n {
-            if peel[v] {
-                layer[v] = Some(l);
             }
-        }
-    }
-    layer
+        },
+        |s, round, _v, inbox| {
+            let gone = inbox.iter().flatten().count();
+            s.residual = s.residual.saturating_sub(gone);
+            if s.peeling {
+                s.layer = Some(round);
+                s.peeling = false;
+            }
+        },
+        |s| s.layer.is_some(),
+    );
+    states.into_iter().map(|s| s.layer).collect()
 }
 
 /// Computes, for each cluster id, the list of member vertices. (A helper

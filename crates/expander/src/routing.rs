@@ -271,75 +271,146 @@ fn walk_routing_core(
     } else {
         Vec::new()
     };
-    let mut moves: Vec<Option<(usize, usize)>> = vec![None; total];
-    while steps < max_steps && delivered + lost < total {
-        steps += 1;
-        for e in edge_load.iter_mut() {
-            *e = 0;
+    // A token step is an order of magnitude cheaper than a vertex round
+    // (one RNG draw and a couple of table reads vs a full degree sweep),
+    // so the adaptive fallback needs proportionally more tokens per worker
+    // before a rendezvous wakeup pays for itself. Scaling the configured
+    // threshold keeps the `with_work_threshold(1)` test escape hatch
+    // meaningful (1 × 8 tokens per worker still forces the pool on).
+    let token_exec = exec.with_work_threshold(exec.work_threshold().saturating_mul(8));
+    if let Some(chunks) = token_exec.par_chunks(total) {
+        // Parallel path: ONE persistent batch for the whole walk
+        // (`pool::run_batch`) — workers spawn once, own their token chunk
+        // across every step, and park on a rendezvous between steps.
+        //
+        // Each step's job carries the chunk's move buffer out and back.
+        // Workers roll *and apply* their tokens' moves (position,
+        // absorption, fault kills): every per-token update is a pure
+        // function of `(step, move, token)` — it never reads the shared
+        // edge tables — so applying it on the worker is bit-identical to
+        // the sequential token-order merge. The leader then sweeps the
+        // returned moves in token order for the shared bookkeeping
+        // (per-step edge loads, max congestion, traced words), which is
+        // the part that genuinely needs global order.
+        struct WalkJob {
+            /// 1-based step counter (fault coins key on `step - 1`).
+            step: usize,
+            /// The chunk's move buffer, refilled by the worker.
+            moves: Vec<Option<(usize, usize)>>,
+            /// Tokens of this chunk absorbed at the leader this step.
+            delivered: usize,
+            /// Tokens of this chunk destroyed by the fault plan this step.
+            lost: usize,
         }
-        // fan out: each chunk of tokens rolls its own moves
-        let chunks = exec.chunks(total);
-        if chunks.len() <= 1 {
+        let mut mv_parts: Vec<Vec<Option<(usize, usize)>>> =
+            chunks.iter().map(|r| vec![None; r.len()]).collect();
+        let sub = &sub;
+        let (map, host_edge) = (&map, &host_edge);
+        let worker = |_w: usize, _r: std::ops::Range<usize>, toks: &mut [Token], mut job: WalkJob| {
+            job.delivered = 0;
+            job.lost = 0;
+            for (tok, mv) in toks.iter_mut().zip(job.moves.iter_mut()) {
+                *mv = token_step(sub, tok);
+                if let Some((e, w)) = *mv {
+                    if let Some(f) = faults {
+                        // the crossing consumed the edge's bandwidth either
+                        // way (the leader still charges it); adjudicate the
+                        // token's survival keyed by the 0-based walk step
+                        if f.kills_message((job.step - 1) as u64, host_edge[e], map[tok.pos], map[w]) {
+                            tok.alive = false;
+                            job.lost += 1;
+                            continue;
+                        }
+                    }
+                    tok.pos = w;
+                    if w == leader_local {
+                        tok.alive = false;
+                        job.delivered += 1;
+                    }
+                }
+            }
+            job
+        };
+        lcg_congest::executor::pool::run_batch(&chunks, &mut tokens, &worker, |pool| {
+            while steps < max_steps && delivered + lost < total {
+                steps += 1;
+                for e in edge_load.iter_mut() {
+                    *e = 0;
+                }
+                for (i, part) in mv_parts.iter_mut().enumerate() {
+                    let job = WalkJob {
+                        step: steps,
+                        moves: std::mem::take(part),
+                        delivered: 0,
+                        lost: 0,
+                    };
+                    pool.dispatch(i, job);
+                }
+                for (i, part) in mv_parts.iter_mut().enumerate() {
+                    let job = pool.collect(i);
+                    *part = job.moves;
+                    delivered += job.delivered;
+                    lost += job.lost;
+                }
+                // token-order sweep over the shared edge tables
+                let mut step_max = 0usize;
+                for mv in mv_parts.iter().flat_map(|p| p.iter()) {
+                    if let Some((e, _)) = *mv {
+                        edge_load[e] += 1;
+                        step_max = step_max.max(edge_load[e]);
+                        if track_edges {
+                            edge_words[e] += 2; // one 2-word message per crossing
+                        }
+                    }
+                }
+                rounds += step_max.max(1) as u64;
+                max_edge_load = max_edge_load.max(step_max);
+            }
+        });
+    } else {
+        let mut moves: Vec<Option<(usize, usize)>> = vec![None; total];
+        while steps < max_steps && delivered + lost < total {
+            steps += 1;
+            for e in edge_load.iter_mut() {
+                *e = 0;
+            }
             for (tok, mv) in tokens.iter_mut().zip(moves.iter_mut()) {
                 *mv = token_step(&sub, tok);
             }
-        } else {
-            let sub_ref = &sub;
-            std::thread::scope(|scope| {
-                let mut tok_rest = &mut tokens[..];
-                let mut mv_rest = &mut moves[..];
-                let mut handles = Vec::with_capacity(chunks.len());
-                for range in &chunks {
-                    let (tok_chunk, tail) = tok_rest.split_at_mut(range.len());
-                    tok_rest = tail;
-                    let (mv_chunk, tail) = mv_rest.split_at_mut(range.len());
-                    mv_rest = tail;
-                    handles.push(scope.spawn(move || {
-                        for (tok, mv) in tok_chunk.iter_mut().zip(mv_chunk.iter_mut()) {
-                            *mv = token_step(sub_ref, tok);
+            // merge: token-order sweep applies crossings to the shared tables
+            let mut step_max = 0usize;
+            for (tok, mv) in tokens.iter_mut().zip(moves.iter()) {
+                if let Some((e, w)) = *mv {
+                    edge_load[e] += 1;
+                    step_max = step_max.max(edge_load[e]);
+                    if track_edges {
+                        edge_words[e] += 2; // one 2-word message per crossing
+                    }
+                    if let Some(f) = faults {
+                        // the crossing consumed the edge's bandwidth either
+                        // way; adjudicate the token's survival keyed by the
+                        // 0-based walk step
+                        let from = tok.pos;
+                        if f.kills_message((steps - 1) as u64, host_edge[e], map[from], map[w]) {
+                            tok.alive = false;
+                            lost += 1;
+                            continue;
                         }
-                    }));
-                }
-                for h in handles {
-                    if let Err(payload) = h.join() {
-                        std::panic::resume_unwind(payload);
                     }
-                }
-            });
-        }
-        // merge: token-order sweep applies crossings to the shared tables
-        let mut step_max = 0usize;
-        for (tok, mv) in tokens.iter_mut().zip(moves.iter()) {
-            if let Some((e, w)) = *mv {
-                edge_load[e] += 1;
-                step_max = step_max.max(edge_load[e]);
-                if track_edges {
-                    edge_words[e] += 2; // one 2-word message per crossing
-                }
-                if let Some(f) = faults {
-                    // the crossing consumed the edge's bandwidth either
-                    // way; adjudicate the token's survival keyed by the
-                    // 0-based walk step
-                    let from = tok.pos;
-                    if f.kills_message((steps - 1) as u64, host_edge[e], map[from], map[w]) {
+                    tok.pos = w;
+                    if w == leader_local {
                         tok.alive = false;
-                        lost += 1;
-                        continue;
+                        delivered += 1;
                     }
-                }
-                tok.pos = w;
-                if w == leader_local {
-                    tok.alive = false;
-                    delivered += 1;
                 }
             }
+            // Each token crossing an edge is one O(log n)-bit message; an
+            // edge carries one message per round per direction, so this
+            // step costs (at least) the max directed load. We charge the
+            // undirected max, a faithful upper bound within a factor 2.
+            rounds += step_max.max(1) as u64;
+            max_edge_load = max_edge_load.max(step_max);
         }
-        // Each token crossing an edge is one O(log n)-bit message; an edge
-        // carries one message per round per direction, so this step costs
-        // (at least) the max directed load. We charge the undirected max,
-        // a faithful upper bound within a factor 2.
-        rounds += step_max.max(1) as u64;
-        max_edge_load = max_edge_load.max(step_max);
     }
     let loads = if track_edges {
         let mut loads: Vec<(usize, u64)> = sub
