@@ -1,0 +1,196 @@
+//! The merge-order shuffle auditor (`LCG_AUDIT=shuffle`).
+//!
+//! The engine's bit-identity-at-any-thread-count guarantee rests on one
+//! algebraic claim: every leader-side reduction over per-chunk results
+//! (the `ChunkCounters` folds at the batch barriers) is commutative and
+//! associative, so the canonical chunk-order fold equals any other order.
+//! `lcg-lint` rule C002 enforces that claim *statically* — reachable
+//! merges must carry a `// lcg-lint: commutative -- reason` annotation and
+//! a registered order-permutation proptest. This module enforces it
+//! *dynamically*: under [`AuditMode::Shuffle`] each leader merge is
+//! re-executed in a seeded pseudo-random permutation of chunk order and
+//! cross-checked against the canonical result; any divergence aborts the
+//! run with both values and the permutation that exposed them.
+//!
+//! The audit permutation derives from a ChaCha8 stream keyed by the round
+//! index, so audited runs are themselves deterministic (the same run
+//! replays with the same permutations) while successive rounds exercise
+//! different orders. With [`AuditMode::Off`] (the default) the engine
+//! collects nothing and the hot path pays nothing.
+//!
+//! Auditing the `ChunkCounters` totals is the [`crate::RoundStats`]
+//! cross-check: `account_round` derives each round's stats entry purely
+//! from the merged totals, so equal totals under every merge order imply
+//! equal final `RoundStats`. The CI lane runs the golden and chaos suites
+//! under `LCG_AUDIT=shuffle LCG_THREADS=3` to pin this down end to end.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Runtime determinism auditing for the batch engine's leader merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AuditMode {
+    /// No auditing (the default): leader merges run in chunk order only.
+    #[default]
+    Off,
+    /// Re-execute every leader merge in a seeded permutation of chunk
+    /// order and panic when the result differs from the canonical fold.
+    Shuffle,
+}
+
+impl AuditMode {
+    /// Reads `LCG_AUDIT`: unset, empty, or `off` → [`AuditMode::Off`];
+    /// `shuffle` → [`AuditMode::Shuffle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other value — same fail-fast contract as the
+    /// `LCG_THREADS` parser: a typo must abort at startup, not silently
+    /// disable the audit.
+    pub fn from_env() -> AuditMode {
+        match std::env::var("LCG_AUDIT") {
+            Err(_) => AuditMode::Off,
+            Ok(s) => match s.trim() {
+                "" | "off" => AuditMode::Off,
+                "shuffle" => AuditMode::Shuffle,
+                // lcg-lint: allow(P001) -- documented fail-fast: a malformed LCG_AUDIT must abort at startup, not silently skip auditing
+                other => panic!("LCG_AUDIT must be unset, 'off', or 'shuffle'; got {other:?}"),
+            },
+        }
+    }
+
+    /// `true` when merge-order shuffling is on.
+    pub fn is_shuffle(self) -> bool {
+        self == AuditMode::Shuffle
+    }
+}
+
+/// Domain-separation key for the audit's ChaCha streams, so the audit
+/// permutation can never correlate with protocol or fault randomness
+/// derived from the same round index.
+const AUDIT_STREAM_KEY: u64 = 0x000A_0D17_5EED;
+
+/// The audit permutation of `0..k` for one round: a Fisher–Yates shuffle
+/// driven by a ChaCha8 stream keyed by the round index. Deterministic per
+/// `(round, k)`; different rounds see different orders, so a merge that is
+/// only conditionally order-sensitive still gets caught over a run.
+pub fn shuffled_merge_order(round: u64, k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..k).collect();
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(AUDIT_STREAM_KEY ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    for i in (1..k).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Re-executes a leader merge in this round's audit permutation and
+/// cross-checks it against the canonical chunk-order result.
+///
+/// `acc` is the reduction's identity (the same initial value the
+/// canonical fold started from), `parts` the per-chunk results in chunk
+/// order, `merge` the reduction, and `canonical` the chunk-order fold the
+/// engine is about to commit.
+///
+/// # Panics
+///
+/// Panics when the permuted fold disagrees with `canonical` — the merge
+/// is order-sensitive and the engine's thread-count invariance is void.
+/// The message names the site, the round, both values, and the
+/// permutation, so the failure replays exactly.
+pub fn check_merge_order<T, M>(
+    what: &str,
+    round: u64,
+    mut acc: T,
+    parts: &[T],
+    mut merge: M,
+    canonical: &T,
+) where
+    T: PartialEq + std::fmt::Debug,
+    M: FnMut(&mut T, &T),
+{
+    let order = shuffled_merge_order(round, parts.len());
+    for &i in &order {
+        merge(&mut acc, &parts[i]);
+    }
+    if acc != *canonical {
+        // lcg-lint: allow(P001) -- the auditor's contract is fail-fast: an order-sensitive merge voids the determinism guarantee and must abort loudly
+        panic!(
+            "shuffle audit: order-sensitive merge in {what} at round {round}: \
+             canonical (chunk-order) result {canonical:?} != shuffled result {acc:?} \
+             under merge order {order:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_env_values() {
+        // the test process may inherit LCG_AUDIT from a CI audit lane;
+        // only exercise the parser when the variable is absent
+        if std::env::var("LCG_AUDIT").is_err() {
+            assert_eq!(AuditMode::from_env(), AuditMode::Off);
+        }
+        assert!(AuditMode::Shuffle.is_shuffle());
+        assert!(!AuditMode::Off.is_shuffle());
+    }
+
+    #[test]
+    fn orders_are_permutations_and_deterministic() {
+        for round in 0..32u64 {
+            for k in 0..7usize {
+                let order = shuffled_merge_order(round, k);
+                assert_eq!(order, shuffled_merge_order(round, k), "replays identically");
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..k).collect::<Vec<_>>(), "a permutation of 0..{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn orders_vary_across_rounds() {
+        // the auditor is vacuous if every round draws the identity; over
+        // 32 rounds at k = 4 a non-identity permutation must appear
+        let identity: Vec<usize> = (0..4).collect();
+        assert!(
+            (0..32u64).any(|r| shuffled_merge_order(r, 4) != identity),
+            "all 32 rounds drew the identity permutation"
+        );
+    }
+
+    #[test]
+    fn commutative_merge_passes_every_round() {
+        let parts = [3u64, 5, 7, 11, 13];
+        let canonical: u64 = parts.iter().sum();
+        for round in 0..64 {
+            check_merge_order("test/sum", round, 0u64, &parts, |a, b| *a += *b, &canonical);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "order-sensitive")]
+    fn order_sensitive_merge_is_caught() {
+        // 2a + b is not commutative; the first round whose permutation is
+        // not the identity exposes it
+        let parts = [3u64, 5, 7, 11];
+        let mut canonical = 0u64;
+        for p in &parts {
+            canonical = canonical.wrapping_mul(2).wrapping_add(*p);
+        }
+        for round in 0..64 {
+            check_merge_order(
+                "test/skewed",
+                round,
+                0u64,
+                &parts,
+                |a, b| *a = a.wrapping_mul(2).wrapping_add(*b),
+                &canonical,
+            );
+        }
+    }
+}

@@ -23,6 +23,12 @@
 //! | `0` or `1`          | no threshold: parallelize any `n ≥ 2`         |
 //! | `t`                 | require ≥ `t` vertices per worker             |
 //!
+//! | `LCG_AUDIT`         | behavior                                      |
+//! |---------------------|-----------------------------------------------|
+//! | unset, empty, `off` | no auditing (the default)                     |
+//! | `shuffle`           | permute + cross-check every leader merge (see |
+//! |                     | [`super::audit`])                             |
+//!
 //! The *work threshold* is the adaptive sequential fallback: spinning up
 //! workers only pays off when each has enough vertices per round, so the
 //! engine runs a parallel section only when `n / work_threshold` grants at
@@ -55,6 +61,8 @@
 
 use std::ops::Range;
 
+use super::audit::AuditMode;
+
 /// The default adaptive-fallback threshold: a parallel section must grant
 /// every worker at least this many vertices, or the engine stays
 /// sequential. Tuned so graphs of a few hundred vertices — where per-round
@@ -66,12 +74,17 @@ pub const DEFAULT_WORK_THRESHOLD: usize = 256;
 pub struct ExecConfig {
     threads: usize,
     work_threshold: usize,
+    audit: AuditMode,
 }
 
 impl ExecConfig {
     /// Single-threaded execution.
     pub fn sequential() -> ExecConfig {
-        ExecConfig { threads: 1, work_threshold: DEFAULT_WORK_THRESHOLD }
+        ExecConfig {
+            threads: 1,
+            work_threshold: DEFAULT_WORK_THRESHOLD,
+            audit: AuditMode::Off,
+        }
     }
 
     /// Execution on `threads` worker threads.
@@ -81,17 +94,26 @@ impl ExecConfig {
     /// Panics if `threads == 0` (use [`ExecConfig::auto`] for "all cores").
     pub fn with_threads(threads: usize) -> ExecConfig {
         assert!(threads >= 1, "thread count must be at least 1");
-        ExecConfig { threads, work_threshold: DEFAULT_WORK_THRESHOLD }
+        ExecConfig {
+            threads,
+            work_threshold: DEFAULT_WORK_THRESHOLD,
+            audit: AuditMode::Off,
+        }
     }
 
     /// One thread per available CPU.
     pub fn auto() -> ExecConfig {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ExecConfig { threads, work_threshold: DEFAULT_WORK_THRESHOLD }
+        ExecConfig {
+            threads,
+            work_threshold: DEFAULT_WORK_THRESHOLD,
+            audit: AuditMode::Off,
+        }
     }
 
-    /// Reads `LCG_THREADS` and `LCG_PAR_THRESHOLD` (see module docs);
-    /// sequential with the default threshold when unset.
+    /// Reads `LCG_THREADS`, `LCG_PAR_THRESHOLD`, and `LCG_AUDIT` (see
+    /// module docs and [`AuditMode::from_env`]); sequential with the
+    /// default threshold and auditing off when unset.
     pub fn from_env() -> ExecConfig {
         let cfg = match std::env::var("LCG_THREADS") {
             Err(_) => ExecConfig::sequential(),
@@ -110,7 +132,7 @@ impl ExecConfig {
                 }
             }
         };
-        match std::env::var("LCG_PAR_THRESHOLD") {
+        let cfg = match std::env::var("LCG_PAR_THRESHOLD") {
             Err(_) => cfg,
             Ok(s) => {
                 let s = s.trim();
@@ -124,7 +146,8 @@ impl ExecConfig {
                     }
                 }
             }
-        }
+        };
+        cfg.with_audit(AuditMode::from_env())
     }
 
     /// Replaces the adaptive-fallback work threshold: a parallel section
@@ -136,6 +159,23 @@ impl ExecConfig {
     pub fn with_work_threshold(mut self, work_threshold: usize) -> ExecConfig {
         self.work_threshold = work_threshold.max(1);
         self
+    }
+
+    /// Replaces the audit mode. [`AuditMode::Shuffle`] makes every leader
+    /// merge re-execute in a seeded permutation of chunk order and
+    /// cross-check against the canonical fold (see
+    /// [`super::audit::check_merge_order`]) — a runtime proof-check of the
+    /// commutativity the determinism guarantee rests on. Never changes
+    /// results of a correct engine; an order-sensitive merge panics.
+    #[must_use]
+    pub fn with_audit(mut self, audit: AuditMode) -> ExecConfig {
+        self.audit = audit;
+        self
+    }
+
+    /// The configured audit mode.
+    pub fn audit(&self) -> AuditMode {
+        self.audit
     }
 
     /// The configured worker-thread count.
@@ -321,5 +361,15 @@ mod tests {
         assert_eq!(cfg.threads(), 3);
         assert_eq!(cfg.work_threshold(), 17);
         assert_eq!(ExecConfig::sequential().work_threshold(), DEFAULT_WORK_THRESHOLD);
+    }
+
+    #[test]
+    fn audit_mode_defaults_off_and_survives_the_builder_chain() {
+        assert_eq!(ExecConfig::sequential().audit(), AuditMode::Off);
+        let cfg = ExecConfig::with_threads(3)
+            .with_audit(AuditMode::Shuffle)
+            .with_work_threshold(1);
+        assert_eq!(cfg.audit(), AuditMode::Shuffle);
+        assert_eq!(cfg.threads(), 3);
     }
 }

@@ -15,8 +15,10 @@
 //! multi-round sections on long-lived workers. See DESIGN §11 for the
 //! lifecycle, barrier protocol, and determinism argument.
 
+pub mod audit;
 pub mod config;
 pub mod pool;
 
 pub(crate) use config::chunk_of;
+pub use audit::AuditMode;
 pub use config::{ExecConfig, DEFAULT_WORK_THRESHOLD};

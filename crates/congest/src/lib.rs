@@ -42,9 +42,9 @@ pub mod primitives;
 pub mod stats;
 
 pub use algorithm::{run_programs, run_programs_state, NodeCtx, NodeProgram};
-pub use executor::ExecConfig;
+pub use executor::{AuditMode, ExecConfig};
 pub use faults::{FaultPlan, LinkFailure, NodeCrash};
 pub use model::Model;
 pub use msg::{Msg, INLINE_WORDS};
-pub use network::{Inbox, Message, Network, Outbox};
+pub use network::{ChunkCounters, Inbox, Message, Network, Outbox};
 pub use stats::RoundStats;

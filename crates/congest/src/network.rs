@@ -61,7 +61,7 @@
 use lcg_graph::Graph;
 use lcg_trace::{SpanId, Tracer};
 
-use crate::executor::{chunk_of, pool, ExecConfig};
+use crate::executor::{audit, chunk_of, pool, ExecConfig};
 use crate::faults::{FaultPlan, FaultState, FaultVerdict};
 use crate::model::Model;
 use crate::msg::Msg;
@@ -227,12 +227,17 @@ impl<'a> Outbox<'a> {
     }
 }
 
-/// Chunk-local message counters, merged at the join barrier.
-#[derive(Debug, Clone, Copy, Default)]
-struct ChunkCounters {
-    messages: u64,
-    words: u64,
-    max_words: usize,
+/// Chunk-local message counters, merged at the join barrier. Public so the
+/// order-permutation proptests (`crates/congest/tests/merge_order.rs`) can
+/// exercise the merge the shuffle auditor cross-checks at runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkCounters {
+    /// Messages composed by the chunk's vertices this round.
+    pub messages: u64,
+    /// Total words across those messages.
+    pub words: u64,
+    /// Largest single message (words) the chunk composed.
+    pub max_words: usize,
 }
 
 impl ChunkCounters {
@@ -248,8 +253,9 @@ impl ChunkCounters {
 
     /// Merges another chunk's counters (sums and maxima: associative and
     /// commutative, so the chunk-order fold equals the sequential tally).
+    // lcg-lint: commutative -- field-wise u64 sums and usize maxima; both commute and associate exactly, so any merge order yields identical totals (order-permutation proptest: tests/merge_order.rs)
     #[inline]
-    fn merge(&mut self, other: &ChunkCounters) {
+    pub fn merge(&mut self, other: &ChunkCounters) {
         self.messages += other.messages;
         self.words += other.words;
         self.max_words = self.max_words.max(other.max_words);
@@ -294,6 +300,7 @@ fn unchunk_grid(parts: Vec<Grid>) -> Grid {
 /// across rounds instead of re-entering here.
 fn compose_outboxes<S, F>(
     exec: &ExecConfig,
+    round: u64,
     cap: Option<usize>,
     states: &mut [S],
     inboxes: &[Vec<Option<Message>>],
@@ -336,12 +343,26 @@ where
             pool.dispatch(i, (rows, ChunkCounters::default()));
         }
         let mut total = ChunkCounters::default();
+        let mut audit_parts = exec.audit().is_shuffle().then(Vec::new);
         for (i, part) in out_parts.iter_mut().enumerate() {
             let (rows, counters) = pool.collect(i);
             for (slot, row) in part.iter_mut().zip(rows) {
                 *slot = row;
             }
             total.merge(&counters);
+            if let Some(parts) = audit_parts.as_mut() {
+                parts.push(counters);
+            }
+        }
+        if let Some(parts) = audit_parts {
+            audit::check_merge_order(
+                "compose_outboxes/ChunkCounters",
+                round,
+                ChunkCounters::default(),
+                &parts,
+                |a, b| a.merge(b),
+                &total,
+            );
         }
         total
     })
@@ -838,7 +859,8 @@ impl<'g> Network<'g> {
         let fresh = take_grid(self.g, &mut self.spare_inboxes);
         let inboxes = std::mem::replace(&mut self.pending, fresh);
         let mut outgoing = take_grid(self.g, &mut self.spare_outgoing);
-        let counters = compose_outboxes(&self.exec, cap, states, &inboxes, &mut outgoing, &f);
+        let counters =
+            compose_outboxes(&self.exec, self.stats.rounds, cap, states, &inboxes, &mut outgoing, &f);
         self.deliver(&mut outgoing);
         self.account(counters);
         recycle_grid(&mut self.spare_inboxes, inboxes);
@@ -944,6 +966,7 @@ impl<'g> Network<'g> {
         let arena = take_grid(g, &mut self.spare_outgoing);
         let mut pending_parts = chunk_grid(inflight, chunks);
         let mut arena_parts = chunk_grid(arena, chunks);
+        let audit_on = self.exec.audit().is_shuffle();
         let Network { stats, tracer, reverse, edge_of, faults, .. } = &mut *self;
         let worker = |_w: usize, range: std::ops::Range<usize>, states: &mut [S], mut job: StepJob| {
             let mut counters = ChunkCounters::default();
@@ -980,6 +1003,7 @@ impl<'g> Network<'g> {
                     pool.dispatch(i, job);
                 }
                 let mut total = ChunkCounters::default();
+                let mut audit_parts = audit_on.then(Vec::new);
                 for (i, (inbox, arena)) in
                     pending_parts.iter_mut().zip(arena_parts.iter_mut()).enumerate()
                 {
@@ -987,10 +1011,23 @@ impl<'g> Network<'g> {
                     *inbox = job.inbox;
                     *arena = job.arena;
                     total.merge(&job.counters);
+                    if let Some(parts) = audit_parts.as_mut() {
+                        parts.push(job.counters);
+                    }
                 }
                 // deliver before account, exactly as the one-shot path
                 // orders them (`stats.rounds` = index of the round in flight)
                 let round = stats.rounds;
+                if let Some(parts) = audit_parts {
+                    audit::check_merge_order(
+                        "step_batch/ChunkCounters",
+                        round,
+                        ChunkCounters::default(),
+                        &parts,
+                        |a, b| a.merge(b),
+                        &total,
+                    );
+                }
                 deliver_chunked(
                     round,
                     n,
@@ -1078,6 +1115,7 @@ impl<'g> Network<'g> {
         // signature wants — no dummy allocation.
         let counters = compose_outboxes(
             &self.exec,
+            self.stats.rounds,
             cap,
             states,
             &self.pending,
@@ -1178,6 +1216,7 @@ impl<'g> Network<'g> {
         let mut arena_parts = chunk_grid(arena, chunks);
         let mut inbox_parts = chunk_grid(inboxes, chunks);
         let mut all_halted = states.iter().all(halted);
+        let audit_on = self.exec.audit().is_shuffle();
         let Network { stats, tracer, reverse, edge_of, faults, .. } = &mut *self;
         let worker = |_w: usize, range: std::ops::Range<usize>, states: &mut [St], job: XchgJob| {
             match job {
@@ -1223,11 +1262,15 @@ impl<'g> Network<'g> {
                     pool.dispatch(i, job);
                 }
                 let mut total = ChunkCounters::default();
+                let mut audit_parts = audit_on.then(Vec::new);
                 for (i, arena) in arena_parts.iter_mut().enumerate() {
                     match pool.collect(i) {
                         XchgJob::Send { arena: rows, counters, .. } => {
                             *arena = rows;
                             total.merge(&counters);
+                            if let Some(parts) = audit_parts.as_mut() {
+                                parts.push(counters);
+                            }
                         }
                         // the pool answers in dispatch order, so a compose
                         // dispatch always collects a compose job
@@ -1237,6 +1280,16 @@ impl<'g> Network<'g> {
                 // route + account between the phases, exactly as
                 // `exchange_state` orders them
                 let r0 = stats.rounds;
+                if let Some(parts) = audit_parts {
+                    audit::check_merge_order(
+                        "exchange_batch/ChunkCounters",
+                        r0,
+                        ChunkCounters::default(),
+                        &parts,
+                        |a, b| a.merge(b),
+                        &total,
+                    );
+                }
                 deliver_chunked(
                     r0,
                     n,

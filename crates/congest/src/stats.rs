@@ -69,6 +69,7 @@ impl Deserialize for RoundStats {
 
 impl RoundStats {
     /// Accumulates another phase's stats (rounds add; maxima take max).
+    // lcg-lint: commutative -- every field is a u64/usize sum or a usize maximum; both commute and associate exactly (order-permutation proptest: tests/merge_order.rs)
     #[inline]
     pub fn merge(&mut self, other: &RoundStats) {
         self.rounds += other.rounds;

@@ -1,0 +1,91 @@
+//! Order-permutation proptests for the engine's leader-side reductions.
+//!
+//! These are the C002-registered proofs that `RoundStats::merge` and
+//! `ChunkCounters::merge` are order-insensitive: folding any permutation
+//! of the parts must produce the exact result of the canonical
+//! chunk-order fold. The permutations come from the shuffle auditor's own
+//! stream (`executor::audit::shuffled_merge_order`), so the static
+//! registry, the runtime `LCG_AUDIT=shuffle` lane, and this proptest all
+//! exercise the same orders.
+
+use lcg_congest::executor::audit::{check_merge_order, shuffled_merge_order};
+use lcg_congest::{ChunkCounters, RoundStats};
+use proptest::collection::vec;
+use proptest::{prop_assert_eq, proptest, ProptestConfig, Strategy};
+
+fn arb_round_stats() -> impl Strategy<Value = RoundStats> {
+    ((0u64..100, 0u64..10_000, 0u64..100_000, 0usize..64), (0u64..50, 0u64..50, 0u64..50)).prop_map(
+        |((rounds, messages, words, max_words_edge_round), (dropped, crashed, truncated))| {
+            RoundStats {
+                rounds,
+                messages,
+                words,
+                max_words_edge_round,
+                dropped_messages: dropped,
+                crashed_messages: crashed,
+                truncated_messages: truncated,
+            }
+        },
+    )
+}
+
+fn arb_chunk_counters() -> impl Strategy<Value = ChunkCounters> {
+    (0u64..10_000, 0u64..100_000, 0usize..64).prop_map(|(messages, words, max_words)| {
+        ChunkCounters { messages, words, max_words }
+    })
+}
+
+/// Folds `parts` in the order given by the auditor's permutation for
+/// `round`, starting from the type's identity.
+fn fold_in_order<T: Default, M: Fn(&mut T, &T)>(parts: &[T], order: &[usize], merge: M) -> T {
+    let mut acc = T::default();
+    for &i in order {
+        merge(&mut acc, &parts[i]);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// RoundStats::merge agrees with the canonical fold under any
+    /// permutation of the parts.
+    #[test]
+    fn round_stats_merge_is_order_insensitive(
+        parts in vec(arb_round_stats(), 0..8),
+        round in 0u64..1024,
+    ) {
+        let canonical = fold_in_order(
+            &parts,
+            &(0..parts.len()).collect::<Vec<_>>(),
+            |a: &mut RoundStats, b| a.merge(b),
+        );
+        let order = shuffled_merge_order(round, parts.len());
+        let shuffled = fold_in_order(&parts, &order, |a: &mut RoundStats, b| a.merge(b));
+        prop_assert_eq!(shuffled, canonical);
+    }
+
+    /// ChunkCounters::merge agrees with the canonical fold under any
+    /// permutation of the parts — the exact check the shuffle auditor
+    /// replays at every batch barrier.
+    #[test]
+    fn chunk_counters_merge_is_order_insensitive(
+        parts in vec(arb_chunk_counters(), 0..8),
+        round in 0u64..1024,
+    ) {
+        let canonical = fold_in_order(
+            &parts,
+            &(0..parts.len()).collect::<Vec<_>>(),
+            |a: &mut ChunkCounters, b| a.merge(b),
+        );
+        // drive it through the auditor itself: panics iff order-sensitive
+        check_merge_order(
+            "proptest/ChunkCounters",
+            round,
+            ChunkCounters::default(),
+            &parts,
+            |a, b| a.merge(b),
+            &canonical,
+        );
+    }
+}

@@ -14,6 +14,7 @@
 //! milliseconds and never fights the vendored-offline dependency policy.
 
 pub mod baseline;
+pub mod model;
 pub mod report;
 pub mod rules;
 pub mod scanner;
@@ -21,10 +22,17 @@ pub mod scanner;
 use std::path::{Path, PathBuf};
 
 pub use baseline::Baseline;
+pub use model::{FileFacts, WorkspaceModel};
 pub use report::Report;
-pub use rules::{check_file, severity_of, FileCtx, Finding, RuleInfo, Severity, DETERMINISTIC_CRATES, RULES};
+pub use rules::{
+    check_file, check_file_with_model, explain, severity_of, FileCtx, Finding, RuleInfo, Severity,
+    DETERMINISTIC_CRATES, RULES,
+};
 
 /// Lints one source string as if it lived at workspace-relative `rel`.
+/// The workspace model sees only this file, so scope-aware rules (C001,
+/// C002, C003, D004) resolve reachability and registrations within it —
+/// a self-contained fixture carries its own batch origins and proptests.
 pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
     let ctx = FileCtx::from_rel_path(rel);
     let lines = scanner::scan(source);
@@ -77,19 +85,28 @@ pub fn rel_path(root: &Path, path: &Path) -> String {
 }
 
 /// Lints every first-party file under `root`. `restrict` (workspace-relative
-/// prefixes) narrows the scan, e.g. `["crates/congest"]`.
+/// prefixes) narrows *reporting*, e.g. `["crates/congest"]` — the workspace
+/// model is always built from the full scan, so cross-file facts (batch
+/// reachability, the C002 proptest registry) do not change with the filter.
 pub fn lint_workspace(root: &Path, restrict: &[String]) -> std::io::Result<(Vec<Finding>, usize)> {
     let files = collect_files(root)?;
-    let mut findings = Vec::new();
-    let mut scanned = 0;
+    // Pass 1: scan everything (the model needs the whole workspace).
+    let mut scanned_files: Vec<(FileCtx, Vec<scanner::Line>)> = Vec::with_capacity(files.len());
     for file in &files {
         let rel = rel_path(root, file);
-        if !restrict.is_empty() && !restrict.iter().any(|p| rel.starts_with(p.as_str())) {
+        let source = std::fs::read_to_string(file)?;
+        scanned_files.push((FileCtx::from_rel_path(&rel), scanner::scan(&source)));
+    }
+    // Pass 2: resolve cross-file facts, then check each reported file.
+    let model = WorkspaceModel::build(&scanned_files);
+    let mut findings = Vec::new();
+    let mut scanned = 0;
+    for (ctx, lines) in &scanned_files {
+        if !restrict.is_empty() && !restrict.iter().any(|p| ctx.rel.starts_with(p.as_str())) {
             continue;
         }
         scanned += 1;
-        let source = std::fs::read_to_string(file)?;
-        findings.extend(lint_source(&rel, &source));
+        findings.extend(rules::check_file_with_model(ctx, lines, model.facts(&ctx.rel)));
     }
     Ok((findings, scanned))
 }

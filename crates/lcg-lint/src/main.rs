@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lcg_lint::{find_workspace_root, lint_workspace, Baseline, Report, RULES};
+use lcg_lint::{explain, find_workspace_root, lint_workspace, Baseline, Report, RULES};
 
 const USAGE: &str = "\
 lcg-lint — determinism and CONGEST-model invariants, enforced at the source level
@@ -19,8 +19,12 @@ OPTIONS:
     --root <DIR>             workspace root (default: walk up from cwd)
     --format <human|json>    report format (default: human)
     --baseline <FILE>        fail only on findings in excess of this baseline
+                             (default: <root>/lcg-lint.baseline.json when present)
+    --no-baseline            ignore the default baseline file
     --write-baseline <FILE>  write the current findings as the new baseline
     --list-rules             print the rule table and exit
+    --explain <RULE>         print a rule's rationale, an example violation,
+                             and the sanctioned fix, then exit
     -h, --help               print this help
 
 EXIT STATUS:
@@ -32,12 +36,19 @@ Suppress a finding inline, with a mandatory justification:
     // lcg-lint: allow(D001) -- membership-only set, iteration never observed
 ";
 
+/// The baseline the repo ships; picked up from the workspace root when no
+/// `--baseline` is given, so `cargo run -p lcg-lint` enforces the ratchet
+/// by default.
+const DEFAULT_BASELINE: &str = "lcg-lint.baseline.json";
+
 struct Opts {
     root: Option<PathBuf>,
     format: String,
     baseline: Option<PathBuf>,
+    no_baseline: bool,
     write_baseline: Option<PathBuf>,
     list_rules: bool,
+    explain: Option<String>,
     prefixes: Vec<String>,
 }
 
@@ -46,8 +57,10 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         root: None,
         format: "human".to_string(),
         baseline: None,
+        no_baseline: false,
         write_baseline: None,
         list_rules: false,
+        explain: None,
         prefixes: Vec::new(),
     };
     let mut it = args.iter();
@@ -56,10 +69,12 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--root" => opts.root = Some(PathBuf::from(take(&mut it, "--root")?)),
             "--format" => opts.format = take(&mut it, "--format")?,
             "--baseline" => opts.baseline = Some(PathBuf::from(take(&mut it, "--baseline")?)),
+            "--no-baseline" => opts.no_baseline = true,
             "--write-baseline" => {
                 opts.write_baseline = Some(PathBuf::from(take(&mut it, "--write-baseline")?))
             }
             "--list-rules" => opts.list_rules = true,
+            "--explain" => opts.explain = Some(take(&mut it, "--explain")?),
             "-h" | "--help" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             other => opts.prefixes.push(other.to_string()),
@@ -67,6 +82,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     }
     if opts.format != "human" && opts.format != "json" {
         return Err(format!("unknown format {:?} (use human or json)", opts.format));
+    }
+    if opts.baseline.is_some() && opts.no_baseline {
+        return Err("--baseline and --no-baseline are mutually exclusive".to_string());
     }
     Ok(opts)
 }
@@ -96,6 +114,19 @@ fn main() -> ExitCode {
             println!("{}  {:<7}  {}", rule.id, rule.severity.as_str(), rule.summary);
         }
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(id) = &opts.explain {
+        match explain(id) {
+            Some(text) => {
+                print!("{text}");
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                eprintln!("lcg-lint: unknown rule {id:?} (see --list-rules)");
+                return ExitCode::from(2);
+            }
+        }
     }
 
     let root = match opts.root.clone().or_else(|| {
@@ -132,7 +163,16 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let baseline = match &opts.baseline {
+    // Explicit --baseline wins; otherwise the shipped root baseline applies
+    // (when present), unless --no-baseline opts out.
+    let baseline_path = opts.baseline.clone().or_else(|| {
+        if opts.no_baseline {
+            return None;
+        }
+        let default = root.join(DEFAULT_BASELINE);
+        default.is_file().then_some(default)
+    });
+    let baseline = match &baseline_path {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(text) => match Baseline::parse(&text) {
                 Ok(b) => b,

@@ -11,6 +11,7 @@
 //! a `-- reason` is ignored and reported as a finding itself (A000), so
 //! suppressions are always justified in-tree.
 
+use crate::model::{FileFacts, WorkspaceModel};
 use crate::scanner::Line;
 
 /// Finding severity. Both fail the build when above baseline; the split
@@ -46,11 +47,18 @@ pub struct Finding {
     pub allowed: Option<String>,
 }
 
-/// Static description of a rule, for `--list-rules` and the docs table.
+/// Static description of a rule: the one-line summary for `--list-rules`
+/// and the docs table, plus the long-form fields `--explain` renders.
 pub struct RuleInfo {
     pub id: &'static str,
     pub severity: Severity,
     pub summary: &'static str,
+    /// Why the rule exists — what it defends in this codebase.
+    pub rationale: &'static str,
+    /// A minimal violating snippet.
+    pub example: &'static str,
+    /// The sanctioned fix (including the escape hatch when one applies).
+    pub fix: &'static str,
 }
 
 /// The rule table. Keep in sync with DESIGN.md §"Invariants & static analysis".
@@ -59,38 +67,150 @@ pub const RULES: &[RuleInfo] = &[
         id: "D001",
         severity: Severity::Error,
         summary: "no nondeterministic hash-order iteration (HashMap/HashSet iter/keys/values/drain/retain/for) in deterministic crates",
+        rationale: "HashMap/HashSet iteration order depends on the ambient hasher seed, so any \
+                    protocol or decomposition logic that observes it produces different runs from \
+                    identical (input, seed) pairs — the exact failure the golden-stats layer exists \
+                    to catch, but only after the fact.",
+        example: "for (k, v) in counts.iter() { route(k, v); }  // counts: HashMap<u32, u32>",
+        fix: "use BTreeMap/BTreeSet, or collect-and-sort before iterating; membership-only use is \
+              fine and can be waived with `// lcg-lint: allow(D001) -- <why order is never observed>`",
     },
     RuleInfo {
         id: "D002",
         severity: Severity::Error,
         summary: "no ambient randomness (thread_rng, from_entropy, OsRng, rand::random) outside the bench crate",
+        rationale: "every random draw must derive from the run's seed so executions replay \
+                    bit-identically; an ambient RNG makes results unreproducible and breaks the \
+                    determinism tests in a data-dependent, intermittent way.",
+        example: "let mut rng = rand::thread_rng();",
+        fix: "seed a ChaCha8Rng from the run seed (gen::seeded_rng / ChaCha8Rng::seed_from_u64), \
+              deriving per-phase seeds instead of sharing one stream",
     },
     RuleInfo {
         id: "D003",
         severity: Severity::Error,
         summary: "no wall-clock reads (Instant, SystemTime) outside the bench crate and tests",
+        rationale: "wall-clock values leak real time into deterministic state: anything branching \
+                    on them runs differently per machine and per run. Cost is measured in rounds \
+                    and messages (RoundStats), which replay exactly.",
+        example: "let t0 = std::time::Instant::now();",
+        fix: "count rounds/messages via RoundStats, or move the timing into crates/bench; \
+              genuinely observational timing can be waived with `// lcg-lint: allow(D003) -- <reason>`",
     },
     RuleInfo {
         id: "M001",
         severity: Severity::Error,
         summary: "NodeProgram protocol files must not use shared/interior mutability (communicate only via the Outbox API)",
+        rationale: "the CONGEST model (and the parallel engine's bit-identical guarantee) rests on \
+                    per-vertex state isolation: vertices exchange information only through \
+                    messages. Shared state between node programs is an out-of-band channel that \
+                    silently breaks both.",
+        example: "struct P { shared: Mutex<Vec<u64>> }  // in a file with `impl NodeProgram`",
+        fix: "move the shared value into per-vertex state and exchange it via Outbox::send; \
+              engine-internal plumbing belongs outside protocol files",
     },
     RuleInfo {
         id: "P001",
         severity: Severity::Warning,
         summary: "no unwrap()/panic!/todo!/unimplemented! in library crates outside tests; use expect(\"<invariant>\") or Result",
+        rationale: "a bare unwrap encodes an invariant nobody wrote down; when it fires mid-run \
+                    the panic message says nothing. Documented invariants make million-node runs \
+                    debuggable from the panic text alone.",
+        example: "let leader = candidates.first().unwrap();",
+        fix: "state the invariant: `.expect(\"decomposition yields >= 1 cluster\")`, or return a \
+              Result; documented fail-fast panics can be waived with \
+              `// lcg-lint: allow(P001) -- <why panicking is the contract>`",
     },
     RuleInfo {
         id: "U001",
         severity: Severity::Error,
         summary: "unsafe code is forbidden workspace-wide",
+        rationale: "the workspace compiles with `unsafe_code = \"forbid\"`; this rule catches the \
+                    token at the source level (including in build scripts and fixtures the \
+                    compiler gate might not cover) so the invariant is visible in lint reports.",
+        example: "unsafe { ptr.read() }",
+        fix: "restructure with safe primitives (split_at_mut, scoped threads, channels); there is \
+              no sanctioned unsafe in this workspace",
+    },
+    RuleInfo {
+        id: "C001",
+        severity: Severity::Error,
+        summary: "no shared-mutable-state primitives (Mutex/RwLock/Atomic*/static mut) in deterministic crates outside the executor pool core",
+        rationale: "the engine's thread-count invariance is proven by construction: workers own \
+                    disjoint chunks and reduce at a barrier in chunk order. A lock or atomic \
+                    introduces cross-thread communication whose timing the proof cannot see — \
+                    results may still *look* right at one thread count and drift at another.",
+        example: "static PROGRESS: AtomicU64 = AtomicU64::new(0);  // in crates/congest",
+        fix: "restructure as chunk-local state merged at the round barrier (see \
+              executor::pool::run_batch); genuinely engine-internal synchronization belongs in \
+              the whitelisted pool core, anything else needs \
+              `// lcg-lint: allow(C001) -- <why this cannot affect results>`",
+    },
+    RuleInfo {
+        id: "C002",
+        severity: Severity::Error,
+        summary: "merge/fold impls reachable from a batch closure need a `// lcg-lint: commutative -- reason` annotation and an order-permutation proptest",
+        rationale: "chunk results are reduced in chunk order, so any reachable merge that is not \
+                    commutative+associative silently ties results to the chunk partition — i.e. \
+                    to the thread count. The annotation records the argument; the registered \
+                    proptest (mentioning the type together with proptest/permutation/shuffle in a \
+                    test region) checks it forever.",
+        example: "fn merge(&mut self, o: &Self) { self.last = o.last; }  // reachable, unannotated",
+        fix: "annotate the impl with `// lcg-lint: commutative -- <why order cannot matter>` and \
+              add an order-permutation proptest naming the type (see \
+              crates/congest/tests/merge_order.rs); a deliberately order-sensitive reduction must \
+              be restructured, not annotated",
+    },
+    RuleInfo {
+        id: "C003",
+        severity: Severity::Error,
+        summary: "no thread-topology reads (ExecConfig internals, LCG_THREADS, chunk indices) from protocol/NodeProgram code",
+        rationale: "protocol logic must be a pure function of (vertex state, inbox, seed). \
+                    Reading the thread count, chunk partition, or scheduler environment gives \
+                    vertices information that varies with LCG_THREADS — the engine would still \
+                    run, but results would differ across thread counts by construction.",
+        example: "impl NodeProgram for P { fn step(..) { if std::env::var(\"LCG_THREADS\").is_ok() { .. } } }",
+        fix: "pass whatever the protocol needs as explicit per-vertex inputs at construction; \
+              execution topology is the engine's business and must stay invisible to vertices",
+    },
+    RuleInfo {
+        id: "D004",
+        severity: Severity::Error,
+        summary: "no float accumulation (+=, sum::<f64>, fold(0.0..)) on parallel-reachable paths of deterministic crates",
+        rationale: "float addition is not associative: a sum reduced over a different chunk \
+                    partition rounds differently, so float accumulators inside the batch engine's \
+                    reach break bit-identity across thread counts even when every other invariant \
+                    holds. Integer/u64 accounting does not have this failure mode.",
+        example: "let mut acc: f64 = 0.0; for part in parts { acc += part.load; }  // in a batch path",
+        fix: "accumulate in integers (words, counts) or fixed-point; if a float reduction is \
+              unavoidable, compute it sequentially outside the batch region, or justify exact \
+              reproducibility with `// lcg-lint: allow(D004) -- <why rounding is order-invariant>`",
     },
     RuleInfo {
         id: "A000",
         severity: Severity::Error,
         summary: "lcg-lint allow comment without a `-- reason` justification",
+        rationale: "an unexplained suppression is indistinguishable from a stale one; requiring \
+                    the reason inline keeps every escape hatch reviewable where it is used.",
+        example: "// lcg-lint: allow(D001)",
+        fix: "append the justification: `// lcg-lint: allow(D001) -- membership-only set, \
+              iteration never observed`",
     },
 ];
+
+/// Long-form explanation of one rule, for `lcg-lint --explain <RULE>`.
+pub fn explain(id: &str) -> Option<String> {
+    let rule = RULES.iter().find(|r| r.id.eq_ignore_ascii_case(id))?;
+    Some(format!(
+        "{} ({})\n\n  {}\n\nWhy:\n  {}\n\nExample violation:\n  {}\n\nSanctioned fix:\n  {}\n",
+        rule.id,
+        rule.severity.as_str(),
+        rule.summary,
+        rule.rationale,
+        rule.example,
+        rule.fix
+    ))
+}
 
 pub fn severity_of(rule: &str) -> Severity {
     RULES
@@ -137,7 +257,8 @@ impl FileCtx {
         FileCtx { rel, crate_name, non_library_target }
     }
 
-    fn deterministic(&self) -> bool {
+    /// Crate is under the deterministic regime (see [`DETERMINISTIC_CRATES`]).
+    pub fn deterministic(&self) -> bool {
         DETERMINISTIC_CRATES.contains(&self.crate_name.as_str())
     }
 
@@ -179,8 +300,20 @@ fn parse_allow(comment: &str) -> Option<Allow> {
     Some(Allow { rules, reason })
 }
 
-/// Lints one scanned file. `lines` comes from [`crate::scanner::scan`].
+/// Lints one scanned file with a single-file workspace model — the
+/// entry point for fixtures and ad-hoc sources. Cross-file facts
+/// (batch reachability, the proptest registry) see only this file, so a
+/// self-contained fixture carries its own origins and registrations;
+/// workspace runs use [`check_file_with_model`] with the full model.
 pub fn check_file(ctx: &FileCtx, lines: &[Line]) -> Vec<Finding> {
+    let model = WorkspaceModel::build(&[(ctx.clone(), lines.to_vec())]);
+    check_file_with_model(ctx, lines, model.facts(&ctx.rel))
+}
+
+/// Lints one scanned file against resolved workspace facts. `lines`
+/// comes from [`crate::scanner::scan`], `facts` from
+/// [`WorkspaceModel::facts`].
+pub fn check_file_with_model(ctx: &FileCtx, lines: &[Line], facts: &FileFacts) -> Vec<Finding> {
     let mut findings = Vec::new();
 
     // Pass 0: allow comments. allows[i] = allow applying to line i (0-based).
@@ -212,11 +345,12 @@ pub fn check_file(ctx: &FileCtx, lines: &[Line]) -> Vec<Finding> {
         }
     }
 
-    // Pass 1: hash-typed bindings (for D001 receiver tracking).
-    let hash_bindings = if ctx.deterministic() {
-        collect_hash_bindings(lines)
+    // Pass 1: hash-typed bindings (for D001 receiver tracking) and
+    // float-typed bindings (for D004 accumulation tracking).
+    let (hash_bindings, float_bindings) = if ctx.deterministic() {
+        (collect_hash_bindings(lines), collect_float_bindings(lines))
     } else {
-        Vec::new()
+        (Vec::new(), Vec::new())
     };
 
     // Does this file define NodeProgram protocol state (for M001)?
@@ -318,9 +452,128 @@ pub fn check_file(ctx: &FileCtx, lines: &[Line]) -> Vec<Finding> {
         if ctx.deterministic() && !line.in_test {
             check_d001(&mut findings, &mut emit, &hash_bindings, i, code);
         }
+
+        // C001: shared-mutable-state primitives in deterministic crates.
+        // Protocol files are M001's domain (one finding per sin) and the
+        // executor pool core is the one sanctioned home for cross-thread
+        // machinery — everything else must be chunk-local + barrier-merged.
+        if ctx.deterministic()
+            && !line.in_test
+            && !protocol_file
+            && !C001_WHITELIST.iter().any(|w| ctx.rel.ends_with(w))
+        {
+            for token in ["Mutex", "RwLock"] {
+                if let Some(col) = find_word(code, token) {
+                    emit(&mut findings, "C001", i, col, format!("`{token}` in a deterministic crate: the engine's thread-count invariance rests on chunk-local state merged at the barrier, never on cross-thread synchronization"));
+                }
+            }
+            if let Some(col) = code.find("static mut ") {
+                emit(&mut findings, "C001", i, col, "`static mut` in a deterministic crate: global mutable state breaks both determinism and the per-chunk ownership the engine's proof rests on".to_string());
+            }
+            if let Some(col) = find_atomic(code) {
+                emit(&mut findings, "C001", i, col, "`Atomic*` in a deterministic crate: lock-free shared state still makes results depend on cross-thread timing; keep state chunk-local and merge at the barrier".to_string());
+            }
+        }
+
+        // C003: thread-topology leakage into protocol logic — the
+        // NodeProgram file itself, or the closure arguments of a step API.
+        // The file-level half applies to library code only: an integration
+        // test defining a program while sweeping ExecConfigs *is* the
+        // thread-invariance harness, not protocol logic. Closure bodies are
+        // per-vertex logic wherever they appear.
+        let protocol_line = !line.in_test
+            && ((protocol_file && !ctx.non_library_target)
+                || facts.protocol_closure.get(i).copied().unwrap_or(false));
+        if ctx.deterministic() && protocol_line {
+            for token in ["ExecConfig", "LCG_THREADS", "LCG_PAR_THRESHOLD", "available_parallelism", "work_threshold", "par_chunks", "chunk_of"] {
+                if let Some(col) = find_word(code, token) {
+                    emit(&mut findings, "C003", i, col, format!("`{token}` read from protocol code: per-vertex logic must be a pure function of (state, inbox, seed) — execution topology must stay invisible to vertices"));
+                }
+            }
+            for token in ["env::var(", ".threads()"] {
+                if let Some(col) = code.find(token) {
+                    emit(&mut findings, "C003", i, col, format!("`{token}` in protocol code leaks the execution environment into vertex state; pass anything the protocol needs as explicit per-vertex input"));
+                }
+            }
+        }
+
+        // D004: float accumulation where the batch engine can reach.
+        if ctx.deterministic()
+            && !line.in_test
+            && facts.parallel.get(i).copied().unwrap_or(false)
+        {
+            check_d004(&mut findings, &mut emit, &float_bindings, i, code);
+        }
+    }
+
+    // C002: reachable merge/fold impls must be annotated commutative and
+    // covered by a registered order-permutation proptest.
+    for site in &facts.merges {
+        if !site.reachable {
+            continue;
+        }
+        if !site.annotated {
+            emit(&mut findings, "C002", site.line, 0, format!("`{}` merge is reachable from a batch closure but carries no `// lcg-lint: commutative -- reason` annotation; chunk-order reductions must argue commutativity where they are defined", site.key));
+        }
+        if !site.registered {
+            emit(&mut findings, "C002", site.line, 0, format!("`{}` merge is reachable from a batch closure but no order-permutation proptest mentions `{}`; add one (see crates/congest/tests/merge_order.rs) so the commutativity argument is checked, not assumed", site.key, site.key));
+        }
     }
 
     findings
+}
+
+/// The one sanctioned home for cross-thread machinery (C001): the
+/// persistent worker pool's rendezvous lanes.
+const C001_WHITELIST: &[&str] = &["congest/src/executor/pool.rs"];
+
+/// Column of an `Atomic<Uppercase>` token (AtomicU64, AtomicBool, ...).
+fn find_atomic(code: &str) -> Option<usize> {
+    let mut search = 0;
+    while let Some(pos) = code[search..].find("Atomic").map(|p| p + search) {
+        search = pos + "Atomic".len();
+        let before_ok = pos == 0 || {
+            let c = code.as_bytes()[pos - 1] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        if before_ok && code[search..].starts_with(|c: char| c.is_ascii_uppercase()) {
+            return Some(pos);
+        }
+    }
+    None
+}
+
+/// D004 accumulation patterns on one parallel-reachable line.
+fn check_d004(
+    findings: &mut Vec<Finding>,
+    emit: &mut impl FnMut(&mut Vec<Finding>, &'static str, usize, usize, String),
+    float_bindings: &[String],
+    i: usize,
+    code: &str,
+) {
+    for token in [".sum::<f64>", ".sum::<f32>"] {
+        if let Some(col) = code.find(token) {
+            emit(findings, "D004", i, col, format!("float reduction `{token}` on a parallel-reachable path: float addition is not associative, so the result depends on the chunk partition (i.e. the thread count)"));
+        }
+    }
+    for token in ["fold(0.0", "fold(0f64", "fold(0f32"] {
+        if let Some(col) = code.find(token) {
+            emit(findings, "D004", i, col, "float `fold` accumulation on a parallel-reachable path ties the rounding order to the chunk partition; accumulate in integers or move the fold out of the batch region".to_string());
+        }
+    }
+    for name in float_bindings {
+        let mut search = 0;
+        while let Some(pos) = code[search..].find(name.as_str()).map(|p| p + search) {
+            search = pos + name.len();
+            if !word_boundary(code, pos, name.len()) {
+                continue;
+            }
+            let rest = code[pos + name.len()..].trim_start();
+            if rest.starts_with("+=") || rest.starts_with("-=") || rest.starts_with("*=") {
+                emit(findings, "D004", i, pos, format!("float accumulator `{name}` updated on a parallel-reachable path: the rounding order would depend on the chunk partition; accumulate in integers (words/counts) instead"));
+            }
+        }
+    }
 }
 
 const D001_ITER_METHODS: &[&str] = &[
@@ -421,6 +674,74 @@ fn collect_hash_bindings(lines: &[Line]) -> Vec<String> {
         }
     }
     names
+}
+
+/// Collects identifiers bound to `f64`/`f32` — by type annotation (let,
+/// param, field) or by a float-literal `let` initializer — for D004
+/// accumulation tracking. Per-file, like the hash collector: bindings
+/// never leak across files.
+fn collect_float_bindings(lines: &[Line]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for line in lines {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        if !(code.contains("f64") || code.contains("f32") || code.contains('.')) {
+            continue;
+        }
+        let is_float_ty = |ty: &str| find_word(ty, "f64").is_some() || find_word(ty, "f32").is_some();
+        // `let [mut] name` with a float type annotation or float initializer
+        if let Some(let_pos) = find_word(code, "let") {
+            let after = code[let_pos + 3..].trim_start();
+            let after = after.strip_prefix("mut ").unwrap_or(after).trim_start();
+            if let Some(name) = leading_ident(after) {
+                let rest = after[name.len()..].trim_start();
+                let mut is_float = false;
+                if let Some(ann) = rest.strip_prefix(':') {
+                    let chars: Vec<char> = ann.chars().collect();
+                    let ty: String = chars[..type_extent(&chars, 0)].iter().collect();
+                    is_float = is_float_ty(&ty);
+                }
+                if !is_float {
+                    if let Some(eq) = rest.find('=') {
+                        is_float = is_float_literal(rest[eq + 1..].trim_start());
+                    }
+                }
+                if is_float {
+                    push_unique(&mut names, name);
+                }
+            }
+        }
+        // `name: f64` annotations (params, struct fields)
+        let chars: Vec<char> = code.chars().collect();
+        let mut j = 0;
+        while j < chars.len() {
+            if chars[j] == ':' && (j + 1 >= chars.len() || chars[j + 1] != ':') && (j == 0 || chars[j - 1] != ':') {
+                if let Some(name) = trailing_ident(&code[..j]) {
+                    let ty: String = chars[j + 1..type_extent(&chars, j + 1)].iter().collect();
+                    if is_float_ty(&ty) {
+                        push_unique(&mut names, name);
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+    names
+}
+
+/// `true` when `s` begins with a float literal (`0.5`, `1_000.0`, `0f64`).
+fn is_float_literal(s: &str) -> bool {
+    let s = s.strip_prefix('-').map(str::trim_start).unwrap_or(s);
+    let digits = s.chars().take_while(|c| c.is_ascii_digit() || *c == '_').count();
+    if digits == 0 {
+        return false;
+    }
+    let rest = &s[digits..];
+    rest.starts_with("f64")
+        || rest.starts_with("f32")
+        || (rest.starts_with('.') && rest[1..].starts_with(|c: char| c.is_ascii_digit()))
 }
 
 /// Extent of a type annotation starting at `start`: up to the first `,`, `)`,
@@ -624,5 +945,123 @@ mod tests {
         let src = "fn f() { log(\"thread_rng Instant unsafe HashMap.iter()\"); }\n";
         let fs = lint("crates/core/src/x.rs", src);
         assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn c001_flags_sync_primitives_outside_the_pool_core() {
+        let src = "use std::sync::Mutex;\nfn f() { let c = std::sync::atomic::AtomicU64::new(0); }\n";
+        let fs = lint("crates/expander/src/x.rs", src);
+        assert_eq!(active(&fs, "C001").len(), 2, "Mutex + AtomicU64: {fs:?}");
+        // the whitelisted pool core may synchronize
+        assert!(active(&lint("crates/congest/src/executor/pool.rs", src), "C001").is_empty());
+        // non-deterministic crates are out of scope
+        assert!(active(&lint("crates/bench/src/x.rs", src), "C001").is_empty());
+    }
+
+    #[test]
+    fn c001_defers_to_m001_in_protocol_files() {
+        let src = "use std::sync::Mutex;\nstruct P { m: Mutex<u32> }\nimpl NodeProgram for P {}\n";
+        let fs = lint("crates/congest/src/proto.rs", src);
+        assert!(active(&fs, "C001").is_empty(), "protocol files are M001's domain: {fs:?}");
+        assert!(!active(&fs, "M001").is_empty());
+    }
+
+    #[test]
+    fn c002_flags_reachable_unannotated_unregistered_merge() {
+        let src = "\
+fn engine(chunks: &[R], states: &mut [S]) {
+    pool::run_batch(chunks, states, &worker, |pool| {
+        let mut total = Counters::default();
+        total.merge(&part);
+    });
+}
+impl Counters {
+    fn merge(&mut self, other: &Counters) { self.n = self.n * 2 + other.n; }
+}
+";
+        let fs = lint("crates/congest/src/x.rs", src);
+        assert_eq!(active(&fs, "C002").len(), 2, "missing annotation AND proptest: {fs:?}");
+    }
+
+    #[test]
+    fn c002_is_silent_when_annotated_and_registered() {
+        let src = "\
+fn engine(chunks: &[R], states: &mut [S]) {
+    pool::run_batch(chunks, states, &worker, |pool| { total.merge(&part); });
+}
+impl Counters {
+    // lcg-lint: commutative -- field-wise sums and maxima commute
+    fn merge(&mut self, other: &Counters) { self.n += other.n; }
+}
+#[cfg(test)]
+mod tests {
+    proptest! { fn merge_any_permutation(parts in counters()) { check::<Counters>(parts); } }
+}
+";
+        let fs = lint("crates/congest/src/x.rs", src);
+        assert!(active(&fs, "C002").is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn c002_ignores_unreachable_merges() {
+        let src = "impl Counters {\n    fn merge(&mut self, other: &Counters) { self.n += other.n; }\n}\n";
+        let fs = lint("crates/congest/src/x.rs", src);
+        assert!(active(&fs, "C002").is_empty(), "no batch origin in sight: {fs:?}");
+    }
+
+    #[test]
+    fn c003_flags_topology_reads_in_protocol_files_and_step_closures() {
+        let src = "impl NodeProgram for P {\n    fn step(&mut self) { let t = self.cfg.threads(); }\n}\n";
+        assert_eq!(active(&lint("crates/congest/src/proto.rs", src), "C003").len(), 1);
+        let closure = "\
+fn drive(net: &mut Net, states: &mut [S]) {
+    net.step_state(states, |me, v, inbox, out| {
+        let k = std::env::var(\"LCG_THREADS\");
+    });
+}
+";
+        let fs = lint("crates/core/src/x.rs", closure);
+        assert_eq!(active(&fs, "C003").len(), 1, "env read inside a step closure: {fs:?}");
+        // the same read outside a protocol context is C003-clean
+        let plumbing = "fn launch() { let cfg = ExecConfig::from_env(); run(cfg); }\n";
+        assert!(active(&lint("crates/core/src/x.rs", plumbing), "C003").is_empty());
+    }
+
+    #[test]
+    fn d004_flags_float_accumulation_only_on_parallel_paths() {
+        let parallel = "\
+fn engine(chunks: &[R], states: &mut [S]) {
+    let mut acc: f64 = 0.0;
+    pool::run_batch(chunks, states, &worker, |pool| {
+        acc += part.load;
+    });
+}
+";
+        let fs = lint("crates/congest/src/x.rs", parallel);
+        assert_eq!(active(&fs, "D004").len(), 1, "{fs:?}");
+        // the identical accumulation in a sequential fn stays legal
+        let sequential = "fn lazy_step(p: &[f64]) -> f64 {\n    let mut acc = 0.5 * p[0];\n    acc += 0.5 * p[1];\n    acc\n}\n";
+        assert!(active(&lint("crates/expander/src/x.rs", sequential), "D004").is_empty());
+    }
+
+    #[test]
+    fn d004_integer_accumulation_is_clean() {
+        let src = "\
+fn engine(chunks: &[R], states: &mut [S]) {
+    let mut words: u64 = 0;
+    pool::run_batch(chunks, states, &worker, |pool| { words += part.words; });
+}
+";
+        assert!(active(&lint("crates/congest/src/x.rs", src), "D004").is_empty());
+    }
+
+    #[test]
+    fn explain_covers_every_rule() {
+        for rule in RULES {
+            let text = explain(rule.id).expect("every rule explains itself");
+            assert!(text.contains(rule.id) && text.contains("Sanctioned fix"), "{text}");
+        }
+        assert!(explain("c002").is_some(), "case-insensitive lookup");
+        assert!(explain("Z999").is_none());
     }
 }

@@ -230,8 +230,13 @@ fn char_literal_len(bytes: &[char], i: usize) -> usize {
         return 0;
     }
     if bytes[j] == '\\' {
-        // escape: scan to the closing quote
+        // escape: the escaped character is consumed unconditionally (it
+        // may itself be a quote, as in `'\''`), then scan to the closing
+        // quote for multi-char escapes like `'\u{1F600}'`
         j += 1;
+        if j < bytes.len() && bytes[j] != '\n' {
+            j += 1;
+        }
         while j < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' {
             j += 1;
         }
@@ -240,8 +245,11 @@ fn char_literal_len(bytes: &[char], i: usize) -> usize {
         }
         return 0;
     }
-    // `'a'` is a char literal; `'a` followed by anything else is a lifetime
-    if j + 1 < bytes.len() && bytes[j] != '\'' && bytes[j + 1] == '\'' {
+    // `'a'` is a char literal; `'a` followed by anything else is a
+    // lifetime. A raw newline can never sit inside a char literal, so a
+    // tick at end-of-line is not one (found by the scanner fuzz suite:
+    // `'` + newline + `'` used to swallow the line break).
+    if j + 1 < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' && bytes[j + 1] == '\'' {
         return 3;
     }
     0
@@ -349,6 +357,18 @@ fn more_lib() {}
         let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { body(); }\n";
         let lines = scan(src);
         assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_is_fully_consumed() {
+        // regression: `'\''` used to stop at the escaped quote, leaving a
+        // stray tick in the code view (and `b'\''` likewise)
+        let src = "let q = '\\''; flag_me(); let b = b'\\''; also_me();\n";
+        let lines = scan(src);
+        assert!(lines[0].code.contains("flag_me"), "{:?}", lines[0].code);
+        assert!(lines[0].code.contains("also_me"), "{:?}", lines[0].code);
+        assert!(!lines[0].code.contains('\''), "literal fully blanked: {:?}", lines[0].code);
+        assert!(!lines[0].code.contains('\\'), "{:?}", lines[0].code);
     }
 
     #[test]

@@ -1,0 +1,40 @@
+// Clean counterpart of c002_bad.rs: the reachable merge argues
+// commutativity where it is defined and is covered by an in-file
+// order-permutation proptest, so C002 stays silent. (No `allow` needed:
+// the sanctioned fix for C002 is the annotation + registered proptest,
+// not a suppression.)
+
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+pub struct SumCounters {
+    pub messages: u64,
+    pub max_words: usize,
+}
+
+impl SumCounters {
+    // lcg-lint: commutative -- field-wise sums and maxima; any merge order
+    // yields identical totals (checked by the proptest below)
+    pub fn merge(&mut self, other: &SumCounters) {
+        self.messages += other.messages;
+        self.max_words = self.max_words.max(other.max_words);
+    }
+}
+
+pub fn reduce(chunks: &[SumCounters], states: &mut [u64]) -> SumCounters {
+    let mut total = SumCounters::default();
+    pool::run_batch(chunks, states, &worker, |_pool| {
+        for part in parts() {
+            total.merge(&part);
+        }
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        fn merge_agrees_under_any_permutation(parts in vec_of_counters()) {
+            // any permutation of SumCounters merge order leaves totals unchanged
+            check_all_orders::<SumCounters>(&parts);
+        }
+    }
+}

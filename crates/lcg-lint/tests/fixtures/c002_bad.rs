@@ -1,0 +1,31 @@
+// Known-bad fixture for C002: a merge reachable from a batch closure that
+// is deliberately order-sensitive (a non-commutative mix plus
+// last-writer-wins), with neither a commutativity annotation nor an
+// order-permutation proptest. This is exactly the reduction the runtime
+// shuffle auditor (LCG_AUDIT=shuffle) would catch; C002 catches it at the
+// source level before it ever runs.
+
+#[derive(Default)]
+pub struct SkewedCounters {
+    pub mix: u64,
+    pub last_chunk: usize,
+}
+
+impl SkewedCounters {
+    pub fn merge(&mut self, other: &SkewedCounters) {
+        // order-sensitive on purpose: 2a+b != 2b+a, and the chunk id is
+        // whichever happened to merge last
+        self.mix = self.mix.wrapping_mul(2).wrapping_add(other.mix);
+        self.last_chunk = other.last_chunk;
+    }
+}
+
+pub fn reduce(chunks: &[SkewedCounters], states: &mut [u64]) -> SkewedCounters {
+    let mut total = SkewedCounters::default();
+    pool::run_batch(chunks, states, &worker, |_pool| {
+        for part in parts() {
+            total.merge(&part);
+        }
+    });
+    total
+}

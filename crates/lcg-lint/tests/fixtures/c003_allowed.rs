@@ -1,0 +1,22 @@
+// Allow-suppressed counterpart of c003_bad.rs: a diagnostic overlay that
+// records the topology for the run report only, with written
+// justifications — round logic never reads it.
+
+pub struct Reporting {
+    // lcg-lint: allow(C003) -- captured once for the run report, never read by round logic
+    cfg: ExecConfig,
+}
+
+impl NodeProgram for Reporting {
+    type Output = u64;
+
+    fn round(&mut self, _ctx: &mut NodeCtx, _round: usize, _inbox: &Inbox, out: &mut Outbox) -> bool {
+        out.send(0, vec![1]);
+        false
+    }
+
+    fn output(&self, _ctx: &NodeCtx) -> u64 {
+        // lcg-lint: allow(C003) -- report-only: worker count is output metadata, not protocol state
+        self.cfg.threads() as u64
+    }
+}

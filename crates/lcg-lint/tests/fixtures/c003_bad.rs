@@ -1,0 +1,26 @@
+// Known-bad fixture for C003: a NodeProgram peeking at execution topology.
+// The protocol would still run, but its decisions vary with LCG_THREADS —
+// results differ across thread counts by construction.
+
+pub struct Batching {
+    cfg: ExecConfig,
+    me: usize,
+}
+
+impl NodeProgram for Batching {
+    type Output = u64;
+
+    fn round(&mut self, ctx: &mut NodeCtx, round: usize, inbox: &Inbox, out: &mut Outbox) -> bool {
+        // batch size derived from the worker count: vertex behaviour now
+        // depends on the scheduler, not on (state, inbox, seed)
+        let lanes = self.cfg.threads();
+        if std::env::var("LCG_THREADS").is_ok() {
+            out.send(0, vec![lanes as u64]);
+        }
+        round > self.me
+    }
+
+    fn output(&self, _ctx: &NodeCtx) -> u64 {
+        0
+    }
+}

@@ -1,0 +1,20 @@
+// Allow-suppressed counterpart of d004_bad.rs: integer accounting does
+// the parallel accumulation; the one float reduction is justified exact.
+
+pub fn parallel_words(chunks: &[Chunk], states: &mut [NodeState]) -> u64 {
+    let mut words: u64 = 0;
+    pool::run_batch(chunks, states, &worker, |_pool| {
+        for part in parts() {
+            words += part.words;
+        }
+        record(dyadic_mass(&scales()));
+    });
+    words
+}
+
+/// Sums powers of two: every partial sum is exactly representable, so the
+/// reduction order cannot change a single bit.
+pub fn dyadic_mass(scales: &[u32]) -> f64 {
+    // lcg-lint: allow(D004) -- dyadic values only: f64 addition is exact here, order-invariant
+    scales.iter().map(|&s| f64::from(1u32 << s)).sum::<f64>()
+}

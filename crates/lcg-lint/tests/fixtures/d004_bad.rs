@@ -1,0 +1,19 @@
+// Known-bad fixture for D004: float accumulation inside the batch
+// engine's reach. The chunk partition decides the rounding order, so the
+// same run produces different bits at different thread counts.
+
+pub fn parallel_load(chunks: &[Chunk], states: &mut [NodeState]) -> f64 {
+    let mut acc: f64 = 0.0;
+    pool::run_batch(chunks, states, &worker, |_pool| {
+        for part in parts() {
+            acc += part.load;
+        }
+        record(helper_mass(&loads()));
+    });
+    acc
+}
+
+pub fn helper_mass(parts: &[f64]) -> f64 {
+    // reachable through the call graph from parallel_load's batch closure
+    parts.iter().copied().sum::<f64>()
+}

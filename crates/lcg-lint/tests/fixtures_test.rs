@@ -95,6 +95,44 @@ fn u001_fires_and_is_suppressible() {
 }
 
 #[test]
+fn c001_fires_and_is_suppressible() {
+    let bad = lint_fixture("c001_bad.rs");
+    assert!(active(&bad, "C001") >= 4, "Mutex + RwLock + Atomic + static mut: {bad:?}");
+    let ok = lint_fixture("c001_allowed.rs");
+    assert_eq!(active(&ok, "C001"), 0, "{ok:?}");
+    assert!(suppressed(&ok, "C001") >= 2, "suppressions are recorded: {ok:?}");
+}
+
+#[test]
+fn c002_catches_the_order_sensitive_merge() {
+    // the deliberately order-sensitive reduction of the acceptance gate:
+    // one finding for the missing annotation, one for the missing proptest
+    let bad = lint_fixture("c002_bad.rs");
+    assert_eq!(active(&bad, "C002"), 2, "missing annotation AND proptest: {bad:?}");
+    let ok = lint_fixture("c002_allowed.rs");
+    assert_eq!(active(&ok, "C002"), 0, "annotated + registered is clean: {ok:?}");
+    assert!(ok.is_empty(), "no suppression needed, and no other rule fires: {ok:?}");
+}
+
+#[test]
+fn c003_fires_and_is_suppressible() {
+    let bad = lint_fixture("c003_bad.rs");
+    assert!(active(&bad, "C003") >= 3, "ExecConfig + .threads() + env::var: {bad:?}");
+    let ok = lint_fixture("c003_allowed.rs");
+    assert_eq!(active(&ok, "C003"), 0, "{ok:?}");
+    assert!(suppressed(&ok, "C003") >= 2);
+}
+
+#[test]
+fn d004_fires_and_is_suppressible() {
+    let bad = lint_fixture("d004_bad.rs");
+    assert_eq!(active(&bad, "D004"), 2, "`acc +=` and reachable sum::<f64>: {bad:?}");
+    let ok = lint_fixture("d004_allowed.rs");
+    assert_eq!(active(&ok, "D004"), 0, "integer accounting + justified exact sum: {ok:?}");
+    assert_eq!(suppressed(&ok, "D004"), 1);
+}
+
+#[test]
 fn trace_crate_is_under_the_deterministic_regime() {
     // the trace layer ships in every run's hot path; its library code —
     // including the trace-report binary under src/bin — is held to the

@@ -1,0 +1,138 @@
+//! Property fuzz for the lint scanner: the lexer underpins every rule, so
+//! it must (a) never panic on arbitrary input and (b) keep its structural
+//! invariants — one `Line` per source line, column-preserving code views —
+//! on adversarial token soup (unclosed strings, stray backslashes, raw
+//! fences, lifetimes butting against char literals).
+//!
+//! The deterministic classification regressions at the bottom pin down the
+//! trickiest single cases, including the `'\''` misclassification this
+//! suite's review originally surfaced (fixed in `char_literal_len`).
+
+use lcg_lint::scanner::scan;
+use proptest::prelude::*;
+
+/// Fragments chosen to collide: quote openers without closers, escape
+/// residue, fence hashes, comment openers — concatenations reach the
+/// scanner states plain source rarely does.
+const TOKENS: &[&str] = &[
+    "fn f() {",
+    "}",
+    "let x = 1;",
+    "\"str with \\\" escape\"",
+    "\"unclosed",
+    "r#\"raw fence\"#",
+    "r##\"double \"# fence\"##",
+    "r\"plain raw\"",
+    "b\"bytes\"",
+    "'x'",
+    "'\\''",
+    "'\\n'",
+    "'\\u{1F600}'",
+    "b'\\''",
+    "'a",
+    "&'static str",
+    "// line comment",
+    "/*",
+    "*/",
+    "/* closed */",
+    "#[cfg(test)]",
+    "#[test]",
+    "unsafe",
+    "HashMap.iter()",
+    "\\",
+    "\"",
+    "'",
+    "#",
+    "r",
+    "b",
+    "\n",
+    " ",
+];
+
+fn token_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..TOKENS.len(), 0..=48)
+        .prop_map(|picks| picks.into_iter().map(|i| TOKENS[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn scan_never_panics_and_line_count_is_bounded(src in token_soup()) {
+        let lines = scan(&src);
+        let newlines = src.chars().filter(|&c| c == '\n').count();
+        prop_assert!(
+            lines.len() <= newlines + 1,
+            "{} lines from {} newlines in {src:?}",
+            lines.len(),
+            newlines
+        );
+    }
+
+    #[test]
+    fn code_view_never_outgrows_its_source_line(src in token_soup()) {
+        // every consumed source char contributes at most one char to the
+        // code view (blanking is space-for-char), so a longer code line
+        // means the scanner double-counted somewhere
+        let lines = scan(&src);
+        for (line, raw) in lines.iter().zip(src.split('\n')) {
+            prop_assert!(
+                line.code.chars().count() <= raw.chars().count(),
+                "code {:?} outgrew source {raw:?}",
+                line.code
+            );
+        }
+    }
+
+    #[test]
+    fn comment_text_never_leaks_into_code(src in token_soup()) {
+        // "still comment" only ever appears inside comment fragments, so
+        // seeing it in a code view means a comment state leaked
+        let commented = format!("/* still-comment */ {src}");
+        for line in scan(&commented) {
+            prop_assert!(
+                !line.code.contains("still-comment"),
+                "comment leaked into code: {:?}",
+                line.code
+            );
+        }
+    }
+}
+
+#[test]
+fn escaped_quote_char_literal_regression() {
+    // `'\''` used to terminate at the escaped quote, leaving a stray tick
+    // that flipped the string/char state for the rest of the file
+    let src = "let q = '\\''; flag_me(); let b = b'\\''; also_me();\n";
+    let lines = scan(src);
+    assert!(lines[0].code.contains("flag_me"), "{:?}", lines[0].code);
+    assert!(lines[0].code.contains("also_me"), "{:?}", lines[0].code);
+}
+
+#[test]
+fn double_hash_raw_fence_is_one_literal() {
+    // the inner `"#` must not close an r##-fenced string
+    let src = "let s = r##\"thread_rng() \"# still inside\"##; after();\n";
+    let lines = scan(src);
+    assert!(!lines[0].code.contains("thread_rng"), "{:?}", lines[0].code);
+    assert!(!lines[0].code.contains("still inside"), "{:?}", lines[0].code);
+    assert!(lines[0].code.contains("after"), "{:?}", lines[0].code);
+}
+
+#[test]
+fn lifetimes_adjacent_to_char_literals_classify_independently() {
+    let src = "fn f<'a>(x: &'a str) -> char { let c = 'a'; c }\n";
+    let lines = scan(src);
+    assert!(lines[0].code.contains("<'a>"), "lifetime param kept: {:?}", lines[0].code);
+    assert!(lines[0].code.contains("&'a str"), "lifetime ref kept: {:?}", lines[0].code);
+    assert!(!lines[0].code.contains("'a'"), "char literal blanked: {:?}", lines[0].code);
+}
+
+#[test]
+fn nested_block_comments_resume_code_after_both_close() {
+    let src = "/* a /* b\n*/ still */ let live = 1;\n";
+    let lines = scan(src);
+    assert!(!lines[0].code.contains('a'), "{:?}", lines[0].code);
+    assert!(!lines[1].code.contains("still"), "{:?}", lines[1].code);
+    assert!(lines[1].code.contains("let live"), "{:?}", lines[1].code);
+}
