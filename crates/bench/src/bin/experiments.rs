@@ -19,6 +19,12 @@
 //! selected, only the traced run executes. `--trace-top-k N` sets how many
 //! hotspot edges the trace keeps (default 10). The trace records logical
 //! rounds only, so it too is bit-identical for every thread count.
+//!
+//! `--metrics PATH` runs the framework with the two-plane metrics recorder
+//! attached, writes the versioned `metrics.json` report to PATH, and prints
+//! the rendered report to stderr. The report's `deterministic` section is
+//! bit-identical at any thread count; only its quarantined `profile`
+//! section (wall time, executor utilization, peak RSS) varies.
 
 use std::io::Write;
 
@@ -35,6 +41,9 @@ usage: experiments [IDS...] [OPTIONS]
                       and print the report to stderr; with no IDS, run
                       only the traced run
   --trace-top-k N     hotspot edges kept in the trace (default 10)
+  --metrics PATH      write a metrics-recorded framework run's two-plane
+                      report (metrics.json) to PATH and print the rendered
+                      report to stderr; with no IDS, run only that run
   --faults P          inject seeded i.i.d. message drops with probability P
                       into the traced run (fault events land in the trace)
   --fault-seed S      fault-schedule seed for --faults and E20
@@ -59,6 +68,7 @@ fn main() {
     let json_dir = flag_value("--json");
     let threads = flag_value("--threads");
     let trace_path = flag_value("--trace");
+    let metrics_path = flag_value("--metrics");
     let trace_top_k: usize = flag_value("--trace-top-k")
         .map(|v| v.parse().expect("--trace-top-k expects a number"))
         .unwrap_or(10);
@@ -83,6 +93,7 @@ fn main() {
         "--threads",
         "--trace",
         "--trace-top-k",
+        "--metrics",
         "--faults",
         "--fault-seed",
         "--retry-budget",
@@ -100,6 +111,13 @@ fn main() {
 
     if let Some(path) = &trace_path {
         run_traced(path, trace_top_k, scale, fault_drop, fault_seed);
+        if selected.is_empty() && metrics_path.is_none() {
+            return;
+        }
+    }
+
+    if let Some(path) = &metrics_path {
+        run_metrics(path, scale, fault_drop, fault_seed);
         if selected.is_empty() {
             return;
         }
@@ -158,4 +176,32 @@ fn run_traced(path: &str, top_k: usize, scale: Scale, fault_drop: Option<f64>, f
     std::fs::write(path, out.trace.to_jsonl()).expect("write trace file");
     eprintln!("{}", lcg_trace::report::render(&out.trace));
     eprintln!("<<< trace written to {path}\n");
+}
+
+/// One metrics-recorded framework run on a planar instance, sized by
+/// `scale`. The same instance and seed as the traced run, so the two
+/// reports describe the same execution. Writes the full two-plane report
+/// to `path` and renders it to stderr.
+fn run_metrics(path: &str, scale: Scale, fault_drop: Option<f64>, fault_seed: u64) {
+    use lcg_congest::FaultPlan;
+    use lcg_core::framework::{run_framework, FrameworkConfig};
+    use lcg_graph::gen;
+
+    let n = match scale {
+        Scale::Quick => 200,
+        Scale::Full => 2_000,
+    };
+    eprintln!(">>> running metrics-recorded framework (n={n})...");
+    let mut rng = gen::seeded_rng(42);
+    let g = gen::random_planar(n, 0.5, &mut rng);
+    let cfg = FrameworkConfig {
+        metrics: true,
+        faults: fault_drop.map(|p| FaultPlan::drops(fault_seed, p)),
+        ..FrameworkConfig::planar(0.3, 42)
+    };
+    let out = run_framework(&g, &cfg);
+    let report = out.metrics.expect("metrics: true always yields a report");
+    std::fs::write(path, report.to_json()).expect("write metrics file");
+    eprintln!("{}", lcg_metrics::report::render(&report));
+    eprintln!("<<< metrics written to {path}\n");
 }

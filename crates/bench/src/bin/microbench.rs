@@ -15,22 +15,38 @@
 //! committed baseline and exits nonzero when any ratio decays by more
 //! than the tolerance. Ratios, not wall times, so slow CI runners do not
 //! flap the gate; a missing baseline file is a pass (first run seeds it).
+//!
+//! `--record` appends this run as one timestamped JSONL row to the perf
+//! trajectory (`BENCH_history.jsonl`, or `--history PATH`) and renders
+//! the accumulated per-bench ns/round trend in the report. `--history`
+//! alone renders the existing trajectory without recording.
 
 use std::process::ExitCode;
 
 use lcg_bench::microbench::{check_regression, run_suite};
+use lcg_bench::history;
 use serde::Value;
+
+const DEFAULT_HISTORY: &str = "BENCH_history.jsonl";
 
 struct Args {
     quick: bool,
     json: Option<String>,
     check_against: Option<String>,
     tolerance: f64,
+    record: bool,
+    history: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { quick: false, json: None, check_against: None, tolerance: 0.25 };
+    let mut args = Args {
+        quick: false,
+        json: None,
+        check_against: None,
+        tolerance: 0.25,
+        record: false,
+        history: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -44,9 +60,14 @@ fn parse_args() -> Result<Args, String> {
                 args.tolerance =
                     raw.parse().map_err(|e| format!("bad --tolerance {raw:?}: {e}"))?;
             }
+            "--record" => args.record = true,
+            "--history" => {
+                args.history = Some(it.next().ok_or("--history needs a path")?);
+            }
             "--help" | "-h" => {
                 return Err("usage: microbench [--quick] [--json PATH] \
-                            [--check-against PATH] [--tolerance F]"
+                            [--check-against PATH] [--tolerance F] \
+                            [--record] [--history PATH]"
                     .to_string());
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
@@ -110,6 +131,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
+    }
+
+    if args.record || args.history.is_some() {
+        let path = args.history.as_deref().unwrap_or(DEFAULT_HISTORY);
+        if args.record {
+            let row = history::row_from_suite(&suite, history::now_unix_secs());
+            if let Err(e) = history::append_row(path, &row) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            println!("recorded run in {path}");
+        }
+        match history::load(path) {
+            Ok(rows) => print!("{}", history::render_trajectory(&rows)),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if let Some(path) = &args.check_against {

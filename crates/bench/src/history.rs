@@ -1,0 +1,228 @@
+//! Performance-trajectory log for the microbench suite.
+//!
+//! Every `microbench --record` run appends one timestamped JSONL row to
+//! `BENCH_history.jsonl` (one line per run, append-only, mergeable), so
+//! the repository accumulates a per-bench `ns/round` trajectory over
+//! time instead of a single baseline snapshot. The bench report renders
+//! the trajectory as first → latest deltas with a trend sparkline.
+//!
+//! This lives in `lcg-bench`, outside the deterministic regime: rows
+//! carry real wall-clock timestamps and wall-time medians by design.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::microbench::Suite;
+
+/// One recorded run: when it ran, at which scale, and every workload's
+/// median wall time per round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRow {
+    /// Seconds since the Unix epoch at record time.
+    pub recorded_at: u64,
+    /// Suite mode the row was measured under (`"quick"` or `"full"`).
+    pub mode: String,
+    /// `workload name -> median ns/round` for every suite result.
+    pub ns_per_round: BTreeMap<String, f64>,
+}
+
+impl Serialize for HistoryRow {
+    fn to_value(&self) -> Value {
+        let benches: Vec<(String, Value)> = self
+            .ns_per_round
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        Value::object([
+            ("recorded_at".to_string(), self.recorded_at.to_value()),
+            ("mode".to_string(), self.mode.to_value()),
+            ("ns_per_round".to_string(), Value::object(benches)),
+        ])
+    }
+}
+
+impl Deserialize for HistoryRow {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let field =
+            |k: &str| v.get(k).ok_or_else(|| serde::Error::msg(format!("missing field `{k}`")));
+        let benches = match field("ns_per_round")? {
+            Value::Object(map) => {
+                let mut out = BTreeMap::new();
+                for (k, val) in map {
+                    out.insert(k.clone(), f64::from_value(val)?);
+                }
+                out
+            }
+            _ => return Err(serde::Error::msg("`ns_per_round` must be an object")),
+        };
+        Ok(HistoryRow {
+            recorded_at: u64::from_value(field("recorded_at")?)?,
+            mode: String::from_value(field("mode")?)?,
+            ns_per_round: benches,
+        })
+    }
+}
+
+/// Projects a finished suite onto a history row stamped `recorded_at`.
+#[must_use]
+pub fn row_from_suite(suite: &Suite, recorded_at: u64) -> HistoryRow {
+    HistoryRow {
+        recorded_at,
+        mode: suite.mode.clone(),
+        ns_per_round: suite
+            .results
+            .iter()
+            .map(|r| (r.name.clone(), r.median_ns_per_round))
+            .collect(),
+    }
+}
+
+/// The current wall-clock timestamp for a row (seconds since epoch).
+#[must_use]
+pub fn now_unix_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Appends `row` as one JSONL line to `path`, creating the file if
+/// needed.
+pub fn append_row(path: &str, row: &HistoryRow) -> Result<(), String> {
+    let line = serde_json::to_string(row).map_err(|e| e.to_string())?;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot open {path}: {e}"))?;
+    writeln!(f, "{line}").map_err(|e| format!("cannot append to {path}: {e}"))
+}
+
+/// Loads every row of a history file, in file order. Blank lines are
+/// skipped; a malformed line is an error (the log is append-only, so
+/// corruption means something external rewrote it).
+pub fn load(path: &str) -> Result<Vec<HistoryRow>, String> {
+    let raw =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    raw.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| {
+            let v = serde_json::parse_value(l)
+                .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+            HistoryRow::from_value(&v).map_err(|e| format!("{path}:{}: {e}", i + 1))
+        })
+        .collect()
+}
+
+/// Sparkline glyph for a value within `[lo, hi]`.
+fn spark(v: f64, lo: f64, hi: f64) -> char {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    // flat or NaN-tainted series renders at the floor glyph
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
+        return LEVELS[0];
+    }
+    let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    // 7.999 keeps frac == 1.0 inside the array
+    LEVELS[(frac * 7.999) as usize]
+}
+
+/// Renders the per-bench trajectory: one line per workload with its
+/// first and latest ns/round, the relative change, and a sparkline over
+/// all recorded runs. Empty history renders an explanatory stub.
+#[must_use]
+pub fn render_trajectory(rows: &[HistoryRow]) -> String {
+    if rows.is_empty() {
+        return "perf trajectory: no recorded runs yet (record one with --record)\n".to_string();
+    }
+    let mut names: Vec<&str> = Vec::new();
+    for row in rows {
+        for name in row.ns_per_round.keys() {
+            if !names.contains(&name.as_str()) {
+                names.push(name);
+            }
+        }
+    }
+    let mut out = format!(
+        "perf trajectory ({} recorded run{})\n{:<22} {:>12} {:>12} {:>8}  trend\n",
+        rows.len(),
+        if rows.len() == 1 { "" } else { "s" },
+        "workload",
+        "first ns/rd",
+        "latest ns/rd",
+        "change"
+    );
+    for name in names {
+        let series: Vec<f64> =
+            rows.iter().filter_map(|r| r.ns_per_round.get(name).copied()).collect();
+        let (Some(&first), Some(&latest)) = (series.first(), series.last()) else {
+            continue;
+        };
+        let lo = series.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let change = if first > 0.0 {
+            format!("{:+.1}%", (latest - first) / first * 100.0)
+        } else {
+            "-".to_string()
+        };
+        let line: String = series.iter().map(|&v| spark(v, lo, hi)).collect();
+        out.push_str(&format!(
+            "{name:<22} {first:>12.0} {latest:>12.0} {change:>8}  {line}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(at: u64, pairs: &[(&str, f64)]) -> HistoryRow {
+        HistoryRow {
+            recorded_at: at,
+            mode: "quick".to_string(),
+            ns_per_round: pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        }
+    }
+
+    #[test]
+    fn rows_roundtrip_through_jsonl() {
+        let dir = std::env::temp_dir().join("lcg_bench_history_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("history.jsonl");
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+        let a = row(100, &[("flood", 500.0), ("routing", 200.0)]);
+        let b = row(200, &[("flood", 400.0), ("routing", 250.0)]);
+        append_row(path, &a).expect("append a");
+        append_row(path, &b).expect("append b");
+        let back = load(path).expect("load rows");
+        assert_eq!(back, vec![a, b]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn trajectory_reports_relative_change() {
+        let rows =
+            vec![row(1, &[("flood", 1000.0)]), row(2, &[("flood", 800.0)])];
+        let rendered = render_trajectory(&rows);
+        assert!(rendered.contains("flood"), "{rendered}");
+        assert!(rendered.contains("-20.0%"), "{rendered}");
+        assert!(rendered.contains("2 recorded runs"), "{rendered}");
+    }
+
+    #[test]
+    fn empty_history_renders_a_stub() {
+        assert!(render_trajectory(&[]).contains("no recorded runs"));
+    }
+
+    #[test]
+    fn sparkline_is_monotone_in_value() {
+        assert_eq!(spark(0.0, 0.0, 1.0), '▁');
+        assert_eq!(spark(1.0, 0.0, 1.0), '█');
+        assert_eq!(spark(5.0, 5.0, 5.0), '▁', "flat series uses the low glyph");
+    }
+}

@@ -13,6 +13,7 @@
 //! artifacts, not prose.
 
 pub mod experiments;
+pub mod history;
 pub mod microbench;
 pub mod table;
 pub mod workloads;

@@ -41,15 +41,18 @@
 //! escapes: cleanly poisoned, never deadlocked, and the owning `Network`
 //! remains usable afterwards.
 
+use lcg_metrics::profile::{self, WorkerSample};
 use std::ops::Range;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::ScopedJoinHandle;
 
-/// One worker's rendezvous lanes plus its join handle.
+/// One worker's rendezvous lanes plus its join handle. The join value is
+/// the worker's profiling-plane timing sample — observer-only data that
+/// flows out to `lcg_metrics::profile`, never back into the batch.
 struct Lane<'scope, Job> {
     feed: Option<SyncSender<Job>>,
     done: Receiver<Job>,
-    handle: Option<ScopedJoinHandle<'scope, ()>>,
+    handle: Option<ScopedJoinHandle<'scope, WorkerSample>>,
 }
 
 /// The leader's handle to a running batch: dispatches jobs to parked
@@ -99,7 +102,9 @@ impl<Job> Conductor<'_, Job> {
     /// panic payload — so the caller sees the worker's original panic
     /// message, never a hang and never a generic proxy.
     fn poison_unwind(&mut self) -> ! {
-        match drain(&mut self.lanes) {
+        // a poisoned batch discards its timing samples — profiling data
+        // never outlives the run it observed
+        match drain(&mut self.lanes).0 {
             Some(payload) => std::panic::resume_unwind(payload),
             // lcg-lint: allow(P001) -- unreachable defensive arm: a lane only dies when its worker panicked, but a panic here still beats a deadlock
             None => panic!("worker pool poisoned: a worker exited without a panic payload"),
@@ -109,20 +114,27 @@ impl<Job> Conductor<'_, Job> {
 
 /// Drops all feed lanes (parked workers observe the disconnect and exit)
 /// and joins every worker in lane order, returning the first panic payload
-/// captured, if any.
-fn drain<Job>(lanes: &mut [Lane<'_, Job>]) -> Option<Box<dyn std::any::Any + Send>> {
+/// captured, if any, plus the per-worker timing samples of the workers
+/// that exited cleanly.
+fn drain<Job>(
+    lanes: &mut [Lane<'_, Job>],
+) -> (Option<Box<dyn std::any::Any + Send>>, Vec<WorkerSample>) {
     for lane in lanes.iter_mut() {
         lane.feed = None;
     }
     let mut payload = None;
+    let mut samples = Vec::with_capacity(lanes.len());
     for lane in lanes.iter_mut() {
         if let Some(handle) = lane.handle.take() {
-            if let Err(p) = handle.join() {
-                payload.get_or_insert(p);
+            match handle.join() {
+                Ok(s) => samples.push(s),
+                Err(p) => {
+                    payload.get_or_insert(p);
+                }
             }
         }
     }
-    payload
+    (payload, samples)
 }
 
 /// Runs one batch on a persistent worker pool.
@@ -176,13 +188,29 @@ where
             let (done_tx, done_rx) = sync_channel::<Job>(1);
             let range = range.clone();
             let handle = scope.spawn(move || {
+                // Profiling-plane sampling is decided once per batch: when
+                // off (the default) the loop below performs zero clock
+                // reads. The sample is observer-only — it leaves on the
+                // join handle, never through the job lanes.
+                let sampling = profile::exec_sampling_enabled();
+                let mut sample = WorkerSample::default();
                 // park between rounds; a dropped feed lane ends the batch
-                while let Ok(job) = feed_rx.recv() {
+                loop {
+                    let parked_at = if sampling { profile::now_ns() } else { 0 };
+                    let Ok(job) = feed_rx.recv() else { break };
+                    let woke_at = if sampling { profile::now_ns() } else { 0 };
                     let job = worker(i, range.clone(), &mut *chunk, job);
+                    if sampling {
+                        let done_at = profile::now_ns();
+                        sample.wait_ns += woke_at.saturating_sub(parked_at);
+                        sample.busy_ns += done_at.saturating_sub(woke_at);
+                        sample.jobs += 1;
+                    }
                     if done_tx.send(job).is_err() {
                         break;
                     }
                 }
+                sample
             });
             lanes.push(Lane { feed: Some(feed_tx), done: done_rx, handle: Some(handle) });
         }
@@ -190,8 +218,12 @@ where
         let out = leader(&mut conductor);
         // orderly shutdown: same drain as poisoning, but normally no
         // payload surfaces
-        if let Some(payload) = drain(&mut conductor.lanes) {
+        let (payload, samples) = drain(&mut conductor.lanes);
+        if let Some(payload) = payload {
             std::panic::resume_unwind(payload);
+        }
+        if profile::exec_sampling_enabled() {
+            profile::record_batch(&samples);
         }
         out
     })
@@ -277,6 +309,47 @@ mod tests {
             .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
             .unwrap_or_default();
         assert!(msg.contains("chunk 2 exploded"), "payload lost: {msg:?}");
+    }
+
+    #[test]
+    fn sampling_records_per_worker_utilization() {
+        // With sampling on, every worker's sample reaches the global sink
+        // with one job per dispatched round; with it off (the default for
+        // every other test in this binary), zero clock reads happen and
+        // nothing is deposited by this batch.
+        let mut states: Vec<u64> = vec![0; 32];
+        let chunks = even_chunks(32, 4);
+        let worker = |_i: usize, _r: Range<usize>, chunk: &mut [u64], job: ()| {
+            for s in chunk.iter_mut() {
+                *s = s.wrapping_mul(31).wrapping_add(7);
+            }
+            job
+        };
+        let _stale = profile::drain_exec_profile();
+        profile::set_exec_sampling(true);
+        run_batch(&chunks, &mut states, &worker, |pool| {
+            for _ in 0..5 {
+                for i in 0..pool.workers() {
+                    pool.dispatch(i, ());
+                }
+                for i in 0..pool.workers() {
+                    pool.collect(i);
+                }
+            }
+        });
+        profile::set_exec_sampling(false);
+        let prof = profile::drain_exec_profile();
+        assert!(prof.batches >= 1, "the sampled batch must deposit");
+        assert!(prof.workers.len() >= 4, "one slot per worker");
+        assert!(
+            prof.workers.iter().take(4).all(|w| w.jobs >= 5),
+            "each worker ran 5 jobs: {:?}",
+            prof.workers
+        );
+        assert!(
+            prof.workers.iter().any(|w| w.busy_ns + w.wait_ns > 0),
+            "sampling must observe nonzero time"
+        );
     }
 
     #[test]

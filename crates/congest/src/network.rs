@@ -59,12 +59,13 @@
 //! shape) whether they came from the pool or a fresh allocation.
 
 use lcg_graph::Graph;
+use lcg_metrics::Recorder;
 use lcg_trace::{SpanId, Tracer};
 
 use crate::executor::{audit, chunk_of, pool, ExecConfig};
 use crate::faults::{FaultPlan, FaultState, FaultVerdict};
 use crate::model::Model;
-use crate::msg::Msg;
+use crate::msg::{Msg, INLINE_WORDS};
 use crate::stats::RoundStats;
 
 /// A message. Historical alias of [`Msg`], which stores CONGEST-size
@@ -177,6 +178,10 @@ pub struct Network<'g> {
     /// default) keeps both delivery paths on their historical fault-free
     /// sweeps — zero cost, bit-identical behavior.
     faults: Option<FaultState>,
+    /// Opt-in metrics recorder ([`Network::attach_metrics`]). `None` (the
+    /// default) keeps every hook a skipped branch — with metrics off both
+    /// delivery paths are byte-identical to their historical behavior.
+    metrics: Option<Recorder>,
 }
 
 /// Per-vertex outbox handed to the step closure.
@@ -238,6 +243,10 @@ pub struct ChunkCounters {
     pub words: u64,
     /// Largest single message (words) the chunk composed.
     pub max_words: usize,
+    /// Messages too long for [`Msg`]'s inline storage (LOCAL-mode payloads
+    /// that cost a heap allocation) — a deterministic model of the round's
+    /// allocation count, surfaced through the metrics registry.
+    pub spilled: u64,
 }
 
 impl ChunkCounters {
@@ -248,6 +257,9 @@ impl ChunkCounters {
             self.messages += 1;
             self.words += msg.len() as u64;
             self.max_words = self.max_words.max(msg.len());
+            if msg.len() > INLINE_WORDS {
+                self.spilled += 1;
+            }
         }
     }
 
@@ -259,6 +271,7 @@ impl ChunkCounters {
         self.messages += other.messages;
         self.words += other.words;
         self.max_words = self.max_words.max(other.max_words);
+        self.spilled += other.spilled;
     }
 }
 
@@ -505,6 +518,12 @@ fn sweep_rows<'r, I, P>(
 /// vertex order — that ordering is the entire determinism argument, and it
 /// holds equally for a whole-grid iteration and for a chunk-major
 /// iteration over contiguous ascending chunks.
+///
+/// With a metrics recorder attached the sweep additionally counts
+/// *delivered* messages (and mirrors the fault tallies) into the
+/// deterministic registry — derived purely from the same vertex-order
+/// sweep, so the registry inherits the sweep's determinism argument. With
+/// `metrics` `None` the historical code paths run untouched.
 #[allow(clippy::too_many_arguments)] // borrow-split pieces of one Network
 fn sweep<'r, I, P>(
     round: u64,
@@ -513,15 +532,41 @@ fn sweep<'r, I, P>(
     edge_of: &[Vec<usize>],
     tracer: &mut Option<Tracer>,
     stats: &mut RoundStats,
+    metrics: &mut Option<Recorder>,
     rows: I,
-    put: P,
+    mut put: P,
 ) where
     I: Iterator<Item = (usize, &'r mut Vec<Option<Msg>>)>,
     P: FnMut(usize, usize, Msg),
 {
+    let Some(rec) = metrics.as_mut() else {
+        match faults {
+            Some(fs) => faulty_sweep(round, fs, reverse, edge_of, tracer, stats, rows, put),
+            None => sweep_rows(rows, reverse, edge_of, tracer, put),
+        }
+        return;
+    };
+    let mut delivered = 0u64;
+    let faults_before =
+        (stats.dropped_messages, stats.crashed_messages, stats.truncated_messages);
+    let counted_put = |u: usize, q: usize, msg: Msg| {
+        delivered += 1;
+        put(u, q, msg);
+    };
     match faults {
-        Some(fs) => faulty_sweep(round, fs, reverse, edge_of, tracer, stats, rows, put),
-        None => sweep_rows(rows, reverse, edge_of, tracer, put),
+        Some(fs) => faulty_sweep(round, fs, reverse, edge_of, tracer, stats, rows, counted_put),
+        None => sweep_rows(rows, reverse, edge_of, tracer, counted_put),
+    }
+    rec.counter_add("net.delivered_messages", delivered);
+    for (name, before, after) in [
+        ("net.dropped_messages", faults_before.0, stats.dropped_messages),
+        ("net.crashed_messages", faults_before.1, stats.crashed_messages),
+        ("net.truncated_messages", faults_before.2, stats.truncated_messages),
+    ] {
+        let delta = after - before;
+        if delta > 0 {
+            rec.counter_add(name, delta);
+        }
     }
 }
 
@@ -543,6 +588,7 @@ fn deliver_chunked(
     edge_of: &[Vec<usize>],
     tracer: &mut Option<Tracer>,
     stats: &mut RoundStats,
+    metrics: &mut Option<Recorder>,
 ) {
     let k = chunks.len();
     let rows = sources.iter_mut().zip(chunks).flat_map(|(part, r)| {
@@ -552,19 +598,34 @@ fn deliver_chunked(
         let (c, off) = chunk_of(n, k, u);
         targets[c][off][q] = Some(msg);
     };
-    sweep(round, faults, reverse, edge_of, tracer, stats, rows, put);
+    sweep(round, faults, reverse, edge_of, tracer, stats, metrics, rows, put);
 }
 
-/// Folds one round's compose counters into the running statistics and the
-/// attached trace. Free function so the batch engine can call it while the
-/// network is borrow-split.
-fn account_round(stats: &mut RoundStats, tracer: &mut Option<Tracer>, counters: ChunkCounters) {
+/// Folds one round's compose counters into the running statistics, the
+/// attached trace, and the attached metrics registry. Free function so the
+/// batch engine can call it while the network is borrow-split.
+fn account_round(
+    stats: &mut RoundStats,
+    tracer: &mut Option<Tracer>,
+    metrics: &mut Option<Recorder>,
+    counters: ChunkCounters,
+) {
     stats.messages += counters.messages;
     stats.words += counters.words;
     stats.max_words_edge_round = stats.max_words_edge_round.max(counters.max_words);
     stats.rounds += 1;
     if let Some(t) = tracer.as_mut() {
         t.record_round(counters.messages, counters.words, counters.max_words);
+    }
+    if let Some(rec) = metrics.as_mut() {
+        rec.counter_add("net.rounds", 1);
+        rec.counter_add("net.messages", counters.messages);
+        rec.counter_add("net.words", counters.words);
+        if counters.spilled > 0 {
+            rec.counter_add("net.spilled_messages", counters.spilled);
+        }
+        rec.gauge_max("net.max_words_edge_round", counters.max_words as u64);
+        rec.histogram_record("net.words_per_round", counters.words);
     }
 }
 
@@ -633,6 +694,7 @@ impl<'g> Network<'g> {
             tracer: None,
             edge_of: Vec::new(),
             faults: None,
+            metrics: None,
         }
     }
 
@@ -772,6 +834,45 @@ impl<'g> Network<'g> {
         }
     }
 
+    /// Attaches a metrics recorder: every subsequent round feeds the
+    /// deterministic registry (messages, words, delivered/spilled counts,
+    /// per-round word histogram), and the recorder's profiling plane keeps
+    /// observing wall time and executor utilization on the side. Replaces
+    /// any previously attached recorder. `None` (the default) keeps every
+    /// hook a skipped branch — results, statistics, and traces are
+    /// byte-identical with metrics off.
+    pub fn attach_metrics(&mut self, recorder: Recorder) {
+        self.metrics = Some(recorder);
+    }
+
+    /// Detaches and returns the metrics recorder (finish it to obtain the
+    /// two-plane report).
+    pub fn take_metrics(&mut self) -> Option<Recorder> {
+        self.metrics.take()
+    }
+
+    /// The attached metrics recorder, if any (e.g. to add an
+    /// algorithm-level counter or gauge mid-run).
+    pub fn metrics_mut(&mut self) -> Option<&mut Recorder> {
+        self.metrics.as_mut()
+    }
+
+    /// Opens a profiling-plane phase timer on the attached recorder; a
+    /// no-op when no recorder is attached, so call sites need no
+    /// metrics-enabled branch of their own.
+    pub fn metrics_phase_start(&mut self, name: &str) {
+        if let Some(rec) = self.metrics.as_mut() {
+            rec.phase_start(name);
+        }
+    }
+
+    /// Closes a phase timer opened with [`Network::metrics_phase_start`].
+    pub fn metrics_phase_end(&mut self, name: &str) {
+        if let Some(rec) = self.metrics.as_mut() {
+            rec.phase_end(name);
+        }
+    }
+
     /// Delivers composed outboxes into `pending` by a vertex-order sweep.
     /// Pure moves — all counting already happened at the compose barrier —
     /// except per-edge load tallies when a tracer asked for them (the sweep
@@ -785,7 +886,7 @@ impl<'g> Network<'g> {
         // `deliver` runs before `account` increments the round counter, so
         // `stats.rounds` is the 0-based index of the round being delivered.
         let round = self.stats.rounds;
-        let Network { pending, reverse, tracer, edge_of, faults, stats, .. } = self;
+        let Network { pending, reverse, tracer, edge_of, faults, stats, metrics, .. } = self;
         sweep(
             round,
             faults.as_ref(),
@@ -793,6 +894,7 @@ impl<'g> Network<'g> {
             edge_of,
             tracer,
             stats,
+            metrics,
             outgoing.iter_mut().enumerate(),
             |u, q, msg| pending[u][q] = Some(msg),
         );
@@ -800,7 +902,7 @@ impl<'g> Network<'g> {
 
     /// Folds one round's counters into the running statistics.
     fn account(&mut self, counters: ChunkCounters) {
-        account_round(&mut self.stats, &mut self.tracer, counters);
+        account_round(&mut self.stats, &mut self.tracer, &mut self.metrics, counters);
     }
 
     /// Executes one synchronous round.
@@ -967,7 +1069,7 @@ impl<'g> Network<'g> {
         let mut pending_parts = chunk_grid(inflight, chunks);
         let mut arena_parts = chunk_grid(arena, chunks);
         let audit_on = self.exec.audit().is_shuffle();
-        let Network { stats, tracer, reverse, edge_of, faults, .. } = &mut *self;
+        let Network { stats, tracer, reverse, edge_of, faults, metrics, .. } = &mut *self;
         let worker = |_w: usize, range: std::ops::Range<usize>, states: &mut [S], mut job: StepJob| {
             let mut counters = ChunkCounters::default();
             for (i, (state, (inbox, slots))) in states
@@ -1039,8 +1141,9 @@ impl<'g> Network<'g> {
                     edge_of,
                     tracer,
                     stats,
+                    metrics,
                 );
-                account_round(stats, tracer, total);
+                account_round(stats, tracer, metrics, total);
             }
         });
         // batch done: the reassembled inbox parts are the live `pending`
@@ -1217,7 +1320,7 @@ impl<'g> Network<'g> {
         let mut inbox_parts = chunk_grid(inboxes, chunks);
         let mut all_halted = states.iter().all(halted);
         let audit_on = self.exec.audit().is_shuffle();
-        let Network { stats, tracer, reverse, edge_of, faults, .. } = &mut *self;
+        let Network { stats, tracer, reverse, edge_of, faults, metrics, .. } = &mut *self;
         let worker = |_w: usize, range: std::ops::Range<usize>, states: &mut [St], job: XchgJob| {
             match job {
                 XchgJob::Send { round, mut arena, .. } => {
@@ -1301,8 +1404,9 @@ impl<'g> Network<'g> {
                     edge_of,
                     tracer,
                     stats,
+                    metrics,
                 );
-                account_round(stats, tracer, total);
+                account_round(stats, tracer, metrics, total);
                 // consume phase; workers also vote on quiescence
                 for (i, inbox) in inbox_parts.iter_mut().enumerate() {
                     let job = XchgJob::Recv {
@@ -1339,7 +1443,7 @@ impl<'g> Network<'g> {
         // like `deliver`, routing precedes `account`, so `stats.rounds` is
         // the 0-based index of the round in flight
         let round = self.stats.rounds;
-        let Network { reverse, tracer, edge_of, faults, stats, .. } = self;
+        let Network { reverse, tracer, edge_of, faults, stats, metrics, .. } = self;
         sweep(
             round,
             faults.as_ref(),
@@ -1347,6 +1451,7 @@ impl<'g> Network<'g> {
             edge_of,
             tracer,
             stats,
+            metrics,
             outgoing.iter_mut().enumerate(),
             |u, q, msg| inboxes[u][q] = Some(msg),
         );
@@ -1360,6 +1465,12 @@ impl<'g> Network<'g> {
         if let Some(t) = self.tracer.as_mut() {
             t.record_external(s.rounds, s.messages, s.words, s.max_words_edge_round);
         }
+        if let Some(rec) = self.metrics.as_mut() {
+            rec.counter_add("net.rounds", s.rounds);
+            rec.counter_add("net.messages", s.messages);
+            rec.counter_add("net.words", s.words);
+            rec.gauge_max("net.max_words_edge_round", s.max_words_edge_round as u64);
+        }
     }
 
     /// Charges `rounds` silent rounds (no messages) to the statistics.
@@ -1371,6 +1482,9 @@ impl<'g> Network<'g> {
         self.stats.rounds += rounds;
         if let Some(t) = self.tracer.as_mut() {
             t.record_quiet_rounds(rounds);
+        }
+        if let Some(rec) = self.metrics.as_mut() {
+            rec.counter_add("net.rounds", rounds);
         }
     }
 

@@ -1,15 +1,17 @@
 //! Order-permutation proptests for the engine's leader-side reductions.
 //!
-//! These are the C002-registered proofs that `RoundStats::merge` and
-//! `ChunkCounters::merge` are order-insensitive: folding any permutation
-//! of the parts must produce the exact result of the canonical
-//! chunk-order fold. The permutations come from the shuffle auditor's own
-//! stream (`executor::audit::shuffled_merge_order`), so the static
-//! registry, the runtime `LCG_AUDIT=shuffle` lane, and this proptest all
-//! exercise the same orders.
+//! These are the C002-registered proofs that `RoundStats::merge`,
+//! `ChunkCounters::merge`, and the metrics-plane `Histogram::merge` /
+//! `Registry::merge` are order-insensitive: folding any permutation of
+//! the parts must produce the exact result of the canonical chunk-order
+//! fold. The permutations come from the shuffle auditor's own stream
+//! (`executor::audit::shuffled_merge_order`), so the static registry, the
+//! runtime `LCG_AUDIT=shuffle` lane, and this proptest all exercise the
+//! same orders.
 
 use lcg_congest::executor::audit::{check_merge_order, shuffled_merge_order};
 use lcg_congest::{ChunkCounters, RoundStats};
+use lcg_metrics::{Histogram, Registry};
 use proptest::collection::vec;
 use proptest::{prop_assert_eq, proptest, ProptestConfig, Strategy};
 
@@ -30,9 +32,37 @@ fn arb_round_stats() -> impl Strategy<Value = RoundStats> {
 }
 
 fn arb_chunk_counters() -> impl Strategy<Value = ChunkCounters> {
-    (0u64..10_000, 0u64..100_000, 0usize..64).prop_map(|(messages, words, max_words)| {
-        ChunkCounters { messages, words, max_words }
+    (0u64..10_000, 0u64..100_000, 0usize..64, 0u64..100).prop_map(
+        |(messages, words, max_words, spilled)| ChunkCounters { messages, words, max_words, spilled },
+    )
+}
+
+fn arb_histogram() -> impl Strategy<Value = Histogram> {
+    vec(0u64..100_000, 0..16).prop_map(|samples| {
+        let mut h = Histogram::default();
+        for s in samples {
+            h.record(s);
+        }
+        h
     })
+}
+
+fn arb_registry() -> impl Strategy<Value = Registry> {
+    (vec((0usize..4, 0u64..1000), 0..6), vec((0usize..4, 0u64..1000), 0..6)).prop_map(
+        |(counters, samples)| {
+            // a handful of shared names so merging actually collides keys
+            const NAMES: [&str; 4] = ["net.messages", "net.words", "phase.rounds", "retries"];
+            let mut r = Registry::new();
+            for (i, v) in counters {
+                r.counter_add(NAMES[i], v);
+                r.gauge_max(NAMES[i], v);
+            }
+            for (i, v) in samples {
+                r.histogram_record(NAMES[i], v);
+            }
+            r
+        },
+    )
 }
 
 /// Folds `parts` in the order given by the auditor's permutation for
@@ -87,5 +117,47 @@ proptest! {
             |a, b| a.merge(b),
             &canonical,
         );
+    }
+
+    /// The metrics plane's Histogram::merge agrees with the canonical
+    /// fold under any permutation of the parts (count/sum/buckets are
+    /// sums, min/max are lattice operations).
+    #[test]
+    fn histogram_merge_is_order_insensitive(
+        parts in vec(arb_histogram(), 0..8),
+        round in 0u64..1024,
+    ) {
+        let canonical = fold_in_order(
+            &parts,
+            &(0..parts.len()).collect::<Vec<_>>(),
+            |a: &mut Histogram, b| a.merge(b),
+        );
+        check_merge_order(
+            "proptest/Histogram",
+            round,
+            Histogram::default(),
+            &parts,
+            |a, b| a.merge(b),
+            &canonical,
+        );
+    }
+
+    /// Registry::merge (counter sums, gauge maxima, histogram merges)
+    /// agrees with the canonical fold under any permutation — the
+    /// property the recovery harness relies on when folding per-attempt
+    /// registries into one report.
+    #[test]
+    fn registry_merge_is_order_insensitive(
+        parts in vec(arb_registry(), 0..6),
+        round in 0u64..1024,
+    ) {
+        let canonical = fold_in_order(
+            &parts,
+            &(0..parts.len()).collect::<Vec<_>>(),
+            |a: &mut Registry, b| a.merge(b),
+        );
+        let order = shuffled_merge_order(round, parts.len());
+        let shuffled = fold_in_order(&parts, &order, |a: &mut Registry, b| a.merge(b));
+        prop_assert_eq!(shuffled, canonical);
     }
 }

@@ -27,6 +27,7 @@ use lcg_congest::{ExecConfig, FaultPlan, Model, Network, RoundStats};
 use lcg_expander::decomp::{self, ExpanderDecomposition};
 use lcg_expander::routing;
 use lcg_graph::Graph;
+use lcg_metrics::{Recorder, Report};
 use lcg_trace::{Trace, TraceConfig, Tracer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -70,6 +71,12 @@ pub struct FrameworkConfig {
     pub trace: bool,
     /// Hotspot edges kept in the trace (ignored unless `trace`).
     pub trace_top_k: usize,
+    /// Record a two-plane metrics report (`FrameworkOutcome::metrics`):
+    /// deterministic counters/gauges/histograms for the logical quantities
+    /// of the run, plus the quarantined profiling plane (per-phase wall
+    /// time, executor utilization, peak RSS). Like `trace`, observation
+    /// only: never changes results, `stats`, or the trace.
+    pub metrics: bool,
     /// Fault schedule injected into every communicating phase (election,
     /// orientation, gathering — both the charged-walk and message-faithful
     /// routers). `None` (the default) and [`FaultPlan::is_vacuous`] plans
@@ -95,6 +102,7 @@ impl FrameworkConfig {
             exec: ExecConfig::from_env(),
             trace: false,
             trace_top_k: 10,
+            metrics: false,
             faults: None,
         }
     }
@@ -151,6 +159,11 @@ pub struct FrameworkOutcome {
     /// substituted sequential reference (its Θ(ε^{-O(1)} log^{O(1)} n)
     /// rounds are *not* included in `stats`); all other phases are.
     pub construction_substituted: bool,
+    /// The two-plane metrics report when `FrameworkConfig::metrics` was
+    /// set: deterministic plane byte-identical at any thread count,
+    /// profiling plane (wall time, executor utilization, peak RSS)
+    /// explicitly nondeterministic. Export with `Report::to_json`.
+    pub metrics: Option<Report>,
 }
 
 /// Round counts per framework phase.
@@ -204,6 +217,13 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
     } else {
         TraceConfig::spans_only("framework")
     }));
+    // Metrics are opt-in, and like tracing are observation only: with a
+    // recorder attached the deterministic registry mirrors the logical
+    // counters while the profiling plane times the same phase boundaries
+    // the spans mark.
+    if cfg.metrics {
+        net.attach_metrics(Recorder::new("framework"));
+    }
     net.set_fault_plan(cfg.faults.clone());
     // A vacuous plan exercises the fault-adjudicating delivery sweep but
     // changes nothing (bit-verified in lcg-congest); only an *active* plan
@@ -232,14 +252,18 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
             .collect()
     };
     let sp = net.span_open("election");
+    net.metrics_phase_start("election");
     let elected = primitives::max_flood(&mut net, &degrees, diam_bound, Scope::Intra(&cluster_of));
+    net.metrics_phase_end("election");
     net.span_close(sp);
 
     // Phase 3: distributed orientation (so each vertex ships O(1) edges).
     let sp = net.span_open("orientation");
+    net.metrics_phase_start("orientation");
     let max_layers = 4 * ((g.n().max(2) as f64).log2().ceil() as usize) + 8;
     let layer =
         primitives::h_partition_distributed(&mut net, cfg.density_bound, 1.0, max_layers, Scope::Intra(&cluster_of));
+    net.metrics_phase_end("orientation");
     net.span_close(sp);
     // out-edges: lower layer -> higher layer (ties by id), intra-cluster
     let out_deg: Vec<usize> = (0..g.n())
@@ -262,6 +286,7 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
     let mut broadcast_rounds = 0u64;
     let mut faithful_traffic = RoundStats::default();
     let sp_gather = net.span_open("gathering");
+    net.metrics_phase_start("gathering");
     for (cid, sub, mapping) in subs {
         let leader = mapping
             .iter()
@@ -409,12 +434,16 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
             ..faithful_traffic
         });
     }
+    net.metrics_phase_end("gathering");
     net.span_close(sp_gather);
 
     let sp = net.span_open("broadcast");
+    net.metrics_phase_start("broadcast");
     net.charge_rounds(broadcast_rounds);
+    net.metrics_phase_end("broadcast");
     net.span_close(sp);
 
+    let metrics_recorder = net.take_metrics();
     let stats = net.stats();
     let trace = net
         .take_tracer()
@@ -433,6 +462,19 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
         stats.rounds,
         "phase spans must partition the run's rounds"
     );
+    // Seal the metrics report with the run-level deterministic facts: the
+    // clustering shape and the per-phase round budget read off the trace.
+    let metrics = metrics_recorder.map(|mut rec| {
+        rec.gauge_set("framework.vertices", g.n() as u64);
+        rec.gauge_set("framework.edges", g.m() as u64);
+        rec.gauge_set("framework.clusters", clusters.len() as u64);
+        rec.gauge_set("framework.cut_edges", decomposition.cut_edges.len() as u64);
+        rec.counter_add("phase.election.rounds", phases.election);
+        rec.counter_add("phase.orientation.rounds", phases.orientation);
+        rec.counter_add("phase.gathering.rounds", phases.gathering);
+        rec.counter_add("phase.broadcast.rounds", phases.broadcast);
+        rec.finish()
+    });
     FrameworkOutcome {
         decomposition,
         clusters,
@@ -440,6 +482,7 @@ pub fn run_framework(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
         phases,
         trace,
         construction_substituted: true,
+        metrics,
     }
 }
 
@@ -609,6 +652,52 @@ mod tests {
         // spans-only runs allocate nothing per round
         assert!(plain.trace.series.is_empty());
         assert!(plain.trace.hotspots.is_empty());
+    }
+
+    /// Metrics are observation only: a metrics-on run must produce the
+    /// exact stats/phases/clustering of a metrics-off run (the zero
+    /// re-blessing guarantee), while its deterministic registry mirrors
+    /// the logical counters and its profiling plane observes real time.
+    #[test]
+    fn metrics_run_changes_nothing_and_mirrors_stats() {
+        let mut rng = gen::seeded_rng(219);
+        let g = gen::random_planar(90, 0.5, &mut rng);
+        let plain = run_framework(&g, &FrameworkConfig::planar(0.3, 9));
+        let metered = run_framework(
+            &g,
+            &FrameworkConfig { metrics: true, ..FrameworkConfig::planar(0.3, 9) },
+        );
+        assert_eq!(plain.stats, metered.stats);
+        assert_eq!(plain.phases, metered.phases);
+        assert_eq!(plain.decomposition.cluster_of, metered.decomposition.cluster_of);
+        assert!(plain.metrics.is_none(), "metrics off must attach nothing");
+
+        let report = metered.metrics.expect("metrics on must produce a report");
+        let det = &report.deterministic;
+        assert_eq!(det.counter("net.rounds"), metered.stats.rounds);
+        assert_eq!(det.counter("net.messages"), metered.stats.messages);
+        assert_eq!(det.counter("net.words"), metered.stats.words);
+        assert_eq!(
+            det.counter("phase.election.rounds")
+                + det.counter("phase.orientation.rounds")
+                + det.counter("phase.gathering.rounds")
+                + det.counter("phase.broadcast.rounds"),
+            metered.stats.rounds,
+        );
+        assert_eq!(det.gauge("framework.clusters"), Some(metered.clusters.len() as u64));
+        assert_eq!(
+            det.gauge("framework.cut_edges"),
+            Some(metered.decomposition.cut_edges.len() as u64)
+        );
+        // the profiling plane observed real time and memory, and timed all
+        // four phase boundaries
+        assert!(report.profile.wall_ns > 0, "wall clock must advance");
+        assert!(report.profile.peak_rss_bytes > 0, "VmHWM must be readable");
+        let phase_names: Vec<&str> =
+            report.profile.phases.iter().map(|p| p.name.as_str()).collect();
+        for name in ["election", "orientation", "gathering", "broadcast"] {
+            assert!(phase_names.contains(&name), "missing phase timer `{name}`");
+        }
     }
 
     /// `faults: Some(FaultPlan::none())` exercises the fault-adjudicating

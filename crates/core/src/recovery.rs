@@ -23,6 +23,7 @@
 
 use lcg_congest::{Model, Network, RoundStats};
 use lcg_expander::decomp::{ClusterInfo, ExpanderDecomposition};
+use lcg_metrics::Report;
 use lcg_expander::routing::RoutingOutcome;
 use lcg_graph::Graph;
 use lcg_trace::{TraceConfig, Tracer};
@@ -176,7 +177,25 @@ pub fn singleton_outcome(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
         phases: PhaseRounds::default(),
         trace: tracer.finish(),
         construction_substituted: true,
+        metrics: None,
     }
+}
+
+/// Stamps the recovery verdict into a folded metrics report (counters
+/// `recovery.attempts`, `recovery.degraded`, `recovery.detector_rounds`),
+/// passing `None` through when metrics were off.
+fn seal_recovery_metrics(
+    folded: Option<Report>,
+    attempts: u32,
+    degraded: bool,
+    detector_rounds: u64,
+) -> Option<Report> {
+    folded.map(|mut rep| {
+        rep.deterministic.counter_add("recovery.attempts", u64::from(attempts));
+        rep.deterministic.counter_add("recovery.degraded", u64::from(degraded));
+        rep.deterministic.counter_add("recovery.detector_rounds", detector_rounds);
+        rep
+    })
 }
 
 /// Runs the Theorem 2.6 framework under `cfg` (including its fault plan),
@@ -191,6 +210,12 @@ pub fn singleton_outcome(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
 /// the second or third attempt. The returned `stats` accumulate every
 /// attempt plus detector rounds; `phases` and `trace` describe the final
 /// attempt only.
+///
+/// When `cfg.metrics` is on, the outcome's report folds the deterministic
+/// registries of *every* attempt (`Registry::merge` is order-insensitive,
+/// so the fold is still bit-stable) and keeps the final attempt's
+/// profiling plane, then stamps the `recovery.*` verdict counters — even
+/// on degradation, where the report survives the singleton substitution.
 pub fn run_framework_resilient(
     g: &Graph,
     cfg: &FrameworkConfig,
@@ -199,6 +224,7 @@ pub fn run_framework_resilient(
     let mut spent = RoundStats::default();
     let mut failures = Vec::new();
     let mut detector_rounds = 0u64;
+    let mut folded_metrics: Option<Report> = None;
     for attempt in 0..=policy.max_retries {
         let attempt_cfg = FrameworkConfig {
             seed: derived_seed(cfg.seed, attempt),
@@ -209,12 +235,22 @@ pub fn run_framework_resilient(
             ..cfg.clone()
         };
         let mut outcome = run_framework(g, &attempt_cfg);
+        // fold this attempt's registry on top of the failed attempts';
+        // the newest report wins the profiling plane
+        if let Some(mut rep) = outcome.metrics.take() {
+            if let Some(prev) = folded_metrics.take() {
+                rep.deterministic.merge(&prev.deterministic);
+            }
+            folded_metrics = Some(rep);
+        }
         let mut det_net = Network::with_exec(g, Model::congest(), cfg.exec);
         let verdicts = detect_failures(&outcome, &mut det_net);
         detector_rounds += det_net.stats().rounds;
         spent.merge(&det_net.stats());
         if verdicts.is_empty() {
             outcome.stats.merge(&spent);
+            outcome.metrics =
+                seal_recovery_metrics(folded_metrics, attempt + 1, false, detector_rounds);
             return (
                 outcome,
                 RecoveryReport {
@@ -230,6 +266,8 @@ pub fn run_framework_resilient(
     }
     let mut outcome = singleton_outcome(g, cfg);
     outcome.stats.merge(&spent);
+    outcome.metrics =
+        seal_recovery_metrics(folded_metrics, policy.max_retries + 1, true, detector_rounds);
     (
         outcome,
         RecoveryReport {
@@ -330,6 +368,35 @@ mod tests {
         for name in ["election", "orientation", "gathering", "broadcast"] {
             assert!(out.trace.span(name).is_some(), "missing span `{name}`");
         }
+    }
+
+    /// Even total degradation keeps the metrics report: registries of all
+    /// failed attempts fold together, and the `recovery.*` counters carry
+    /// the harness verdict alongside the singleton substitution.
+    #[test]
+    fn degraded_recovery_folds_metrics_across_attempts() {
+        let g = gen::grid(5, 5);
+        let cfg = FrameworkConfig {
+            faults: Some(FaultPlan::drops(1, 1.0)),
+            max_walk_steps: 5_000,
+            metrics: true,
+            ..FrameworkConfig::planar(0.3, 11)
+        };
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            initial_walk_steps: 1_000,
+        };
+        let (out, report) = run_framework_resilient(&g, &cfg, &policy);
+        assert!(report.degraded);
+        let m = out.metrics.expect("metrics must survive degradation");
+        let det = &m.deterministic;
+        assert_eq!(det.counter("recovery.attempts"), 2);
+        assert_eq!(det.counter("recovery.degraded"), 1);
+        assert_eq!(det.counter("recovery.detector_rounds"), report.detector_rounds);
+        // the folded registry plus detector spending is exactly the
+        // cumulative stats: nothing counted twice, nothing lost
+        assert_eq!(det.counter("net.rounds") + report.detector_rounds, out.stats.rounds);
+        assert!(det.counter("net.dropped_messages") > 0, "a blackout must drop messages");
     }
 
     #[test]

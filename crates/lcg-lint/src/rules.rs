@@ -187,6 +187,22 @@ pub const RULES: &[RuleInfo] = &[
               reproducibility with `// lcg-lint: allow(D004) -- <why rounding is order-invariant>`",
     },
     RuleInfo {
+        id: "O001",
+        severity: Severity::Error,
+        summary: "profiling-plane values (clocks, RSS, executor samples) must never flow into protocol, merge/registry, or RNG-seeding code",
+        rationale: "the metrics profiler observes wall time, memory, and scheduler behavior — \
+                    nondeterministic by nature and different on every machine. The two-plane \
+                    design stays sound only while those observations are observer-only: one \
+                    profiling value reaching a message payload, a reduction, a deterministic \
+                    counter, or an RNG seed ties results to the run's timing, breaking \
+                    bit-identical replay in a way no golden test can localize.",
+        example: "let t = profile::now_ns();\nlet mut rng = ChaCha8Rng::seed_from_u64(t);",
+        fix: "keep profiling values inside the profile plane (time things, report them, never \
+              feed them back): derive seeds from the run seed, account logical quantities only; \
+              a diagnostics-only flow can be waived with \
+              `// lcg-lint: allow(O001) -- <why results cannot depend on it>`",
+    },
+    RuleInfo {
         id: "A000",
         severity: Severity::Error,
         summary: "lcg-lint allow comment without a `-- reason` justification",
@@ -222,10 +238,11 @@ pub fn severity_of(rule: &str) -> Severity {
 
 /// Crates whose results must be a pure function of (input, seed): the
 /// simulator, the decomposition/routing layer, the graph substrate, the
-/// sequential solvers, the framework, the trace layer, and the umbrella
+/// sequential solvers, the framework, the trace layer, the metrics layer
+/// (its profiling plane lives in the quarantine file), and the umbrella
 /// crate.
 pub const DETERMINISTIC_CRATES: &[&str] =
-    &["congest", "expander", "graph", "solvers", "core", "trace", "locongest"];
+    &["congest", "expander", "graph", "solvers", "core", "trace", "metrics", "locongest"];
 
 /// Per-file facts the rules dispatch on.
 #[derive(Debug, Clone)]
@@ -345,13 +362,22 @@ pub fn check_file_with_model(ctx: &FileCtx, lines: &[Line], facts: &FileFacts) -
         }
     }
 
-    // Pass 1: hash-typed bindings (for D001 receiver tracking) and
-    // float-typed bindings (for D004 accumulation tracking).
-    let (hash_bindings, float_bindings) = if ctx.deterministic() {
-        (collect_hash_bindings(lines), collect_float_bindings(lines))
+    // Pass 1: hash-typed bindings (for D001 receiver tracking),
+    // float-typed bindings (for D004 accumulation tracking), and
+    // profiling-tainted bindings (for O001 flow tracking).
+    let (hash_bindings, float_bindings, profiling_bindings) = if ctx.deterministic() {
+        (
+            collect_hash_bindings(lines),
+            collect_float_bindings(lines),
+            collect_profiling_bindings(lines),
+        )
     } else {
-        (Vec::new(), Vec::new())
+        (Vec::new(), Vec::new(), Vec::new())
     };
+
+    // The profiling plane's own file is exempt from the clock/sync/flow
+    // rules — the quarantine is the point of the file.
+    let quarantined = PROFILE_QUARANTINE.iter().any(|w| ctx.rel.ends_with(w));
 
     // Does this file define NodeProgram protocol state (for M001)?
     let protocol_file = ctx.rel.ends_with("congest/src/algorithm.rs")
@@ -407,8 +433,9 @@ pub fn check_file_with_model(ctx: &FileCtx, lines: &[Line], facts: &FileFacts) -
         }
 
         // D003: wall clock. Benches and tests may time things; library and
-        // example code must stay clock-free so runs are replayable.
-        if !ctx.bench_crate() && !line.in_test && !ctx.non_library_target {
+        // example code must stay clock-free so runs are replayable. The
+        // metrics profiling plane is the one whitelisted clock reader.
+        if !ctx.bench_crate() && !line.in_test && !ctx.non_library_target && !quarantined {
             for token in ["Instant", "SystemTime"] {
                 if let Some(col) = find_word(code, token) {
                     emit(&mut findings, "D003", i, col, format!("wall-clock `{token}` in deterministic code; measure cost in rounds/messages (RoundStats) instead"));
@@ -504,6 +531,14 @@ pub fn check_file_with_model(ctx: &FileCtx, lines: &[Line], facts: &FileFacts) -
         {
             check_d004(&mut findings, &mut emit, &float_bindings, i, code);
         }
+
+        // O001: profiling-plane values flowing into deterministic
+        // machinery. The quarantine file itself is exempt; everywhere
+        // else a tainted value meeting a seed/send/merge/registry sink
+        // (or appearing inside a protocol closure) is a violation.
+        if ctx.deterministic() && !line.in_test && !ctx.non_library_target && !quarantined {
+            check_o001(&mut findings, &mut emit, &profiling_bindings, protocol_line, i, code);
+        }
     }
 
     // C002: reachable merge/fold impls must be annotated commutative and
@@ -523,9 +558,50 @@ pub fn check_file_with_model(ctx: &FileCtx, lines: &[Line], facts: &FileFacts) -
     findings
 }
 
-/// The one sanctioned home for cross-thread machinery (C001): the
-/// persistent worker pool's rendezvous lanes.
-const C001_WHITELIST: &[&str] = &["congest/src/executor/pool.rs"];
+/// The sanctioned homes for cross-thread machinery (C001): the
+/// persistent worker pool's rendezvous lanes, and the profiling plane's
+/// global sample sink.
+const C001_WHITELIST: &[&str] =
+    &["congest/src/executor/pool.rs", "metrics/src/profile.rs"];
+
+/// The profiling plane's quarantine file: the one sanctioned reader of
+/// the wall clock (D003) in deterministic crates, and the only file
+/// O001 does not police — everything it produces is profiling-tainted
+/// by definition, and nothing deterministic lives there.
+const PROFILE_QUARANTINE: &[&str] = &["metrics/src/profile.rs"];
+
+/// Profiling-plane origin tokens (O001): a line touching one of these
+/// carries a wall-clock / scheduler / memory observation.
+const O001_ORIGINS: &[&str] = &[
+    "now_ns",
+    "peak_rss_bytes",
+    "drain_exec_profile",
+    "elapsed",
+    "busy_ns",
+    "wait_ns",
+    "wall_ns",
+];
+
+/// Profiling-plane types (O001): a binding annotated with one is
+/// tainted wherever it is used in the file.
+const O001_TYPES: &[&str] =
+    &["WorkerSample", "ExecProfile", "Profile", "ProfileReport", "PhaseTiming"];
+
+/// RNG-seeding sinks (O001), matched at word boundaries.
+const O001_SEED_SINKS: &[&str] = &["seed_from_u64", "from_seed", "SeedableRng"];
+
+/// Call sinks (O001): message sends, reductions, round accounting, and
+/// deterministic-registry writes must never receive a tainted value.
+const O001_CALL_SINKS: &[&str] = &[
+    ".send(",
+    ".merge(",
+    "charge_stats(",
+    "charge_rounds(",
+    "counter_add(",
+    "gauge_set(",
+    "gauge_max(",
+    "histogram_record(",
+];
 
 /// Column of an `Atomic<Uppercase>` token (AtomicU64, AtomicBool, ...).
 fn find_atomic(code: &str) -> Option<usize> {
@@ -574,6 +650,106 @@ fn check_d004(
             }
         }
     }
+}
+
+/// O001 flow check on one line: a profiling origin or tainted binding
+/// meeting a sink. One finding per line, anchored at the tainted token.
+fn check_o001(
+    findings: &mut Vec<Finding>,
+    emit: &mut impl FnMut(&mut Vec<Finding>, &'static str, usize, usize, String),
+    profiling_bindings: &[String],
+    protocol_line: bool,
+    i: usize,
+    code: &str,
+) {
+    let mut tainted: Option<(usize, String)> = None;
+    for token in O001_ORIGINS {
+        if let Some(col) = find_word(code, token) {
+            if tainted.as_ref().is_none_or(|&(c, _)| col < c) {
+                tainted = Some((col, format!("profiling origin `{token}`")));
+            }
+        }
+    }
+    for name in profiling_bindings {
+        if let Some(col) = find_word(code, name) {
+            if tainted.as_ref().is_none_or(|&(c, _)| col < c) {
+                tainted = Some((col, format!("profiling-tainted binding `{name}`")));
+            }
+        }
+    }
+    let Some((col, what)) = tainted else { return };
+    for token in O001_SEED_SINKS {
+        if find_word(code, token).is_some() {
+            emit(findings, "O001", i, col, format!("{what} reaches RNG seeding (`{token}`): seeds must derive from the run seed, never from wall-clock or scheduler observations"));
+            return;
+        }
+    }
+    for token in O001_CALL_SINKS {
+        if code.contains(token) {
+            let sink = token.trim_start_matches('.').trim_end_matches('(');
+            emit(findings, "O001", i, col, format!("{what} flows into `{sink}`: profiling values are observer-only and must never enter sends, reductions, round accounting, or the deterministic registry"));
+            return;
+        }
+    }
+    if protocol_line {
+        emit(findings, "O001", i, col, format!("{what} inside protocol code: per-vertex logic must be a pure function of (state, inbox, seed) — wall-clock and scheduler observations must stay invisible to vertices"));
+    }
+}
+
+/// Collects identifiers bound to profiling-plane values — by a `let`
+/// initializer mentioning an O001 origin, or a type annotation (let,
+/// param, field) naming a profiling type. Per-file, like the hash and
+/// float collectors: taint never leaks across files.
+fn collect_profiling_bindings(lines: &[Line]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let tainted_expr = |s: &str| O001_ORIGINS.iter().any(|t| find_word(s, t).is_some());
+    let tainted_ty = |ty: &str| O001_TYPES.iter().any(|t| find_word(ty, t).is_some());
+    for line in lines {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        if !tainted_expr(code) && !tainted_ty(code) {
+            continue;
+        }
+        // `let [mut] name` with a tainted type annotation or initializer
+        if let Some(let_pos) = find_word(code, "let") {
+            let after = code[let_pos + 3..].trim_start();
+            let after = after.strip_prefix("mut ").unwrap_or(after).trim_start();
+            if let Some(name) = leading_ident(after) {
+                let rest = after[name.len()..].trim_start();
+                let mut tainted = false;
+                if let Some(ann) = rest.strip_prefix(':') {
+                    let chars: Vec<char> = ann.chars().collect();
+                    let ty: String = chars[..type_extent(&chars, 0)].iter().collect();
+                    tainted = tainted_ty(&ty);
+                }
+                if !tainted {
+                    if let Some(eq) = rest.find('=') {
+                        tainted = tainted_expr(&rest[eq + 1..]);
+                    }
+                }
+                if tainted {
+                    push_unique(&mut names, name);
+                }
+            }
+        }
+        // `name: WorkerSample` annotations (params, struct fields)
+        let chars: Vec<char> = code.chars().collect();
+        let mut j = 0;
+        while j < chars.len() {
+            if chars[j] == ':' && (j + 1 >= chars.len() || chars[j + 1] != ':') && (j == 0 || chars[j - 1] != ':') {
+                if let Some(name) = trailing_ident(&code[..j]) {
+                    let ty: String = chars[j + 1..type_extent(&chars, j + 1)].iter().collect();
+                    if tainted_ty(&ty) {
+                        push_unique(&mut names, name);
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+    names
 }
 
 const D001_ITER_METHODS: &[&str] = &[
@@ -1053,6 +1229,58 @@ fn engine(chunks: &[R], states: &mut [S]) {
 }
 ";
         assert!(active(&lint("crates/congest/src/x.rs", src), "D004").is_empty());
+    }
+
+    #[test]
+    fn o001_flags_profiling_values_reaching_seeds_merges_and_sends() {
+        let seeded = "fn f() {\n    let t = profile::now_ns();\n    let mut rng = ChaCha8Rng::seed_from_u64(t);\n}\n";
+        let fs = lint("crates/core/src/x.rs", seeded);
+        assert_eq!(active(&fs, "O001").len(), 1, "{fs:?}");
+        assert_eq!(active(&fs, "O001")[0].line, 3);
+
+        let merged = "fn f(stats: &mut RoundStats, s: WorkerSample) {\n    stats.merge(&to_stats(s.busy_ns));\n}\n";
+        assert_eq!(active(&lint("crates/congest/src/x.rs", merged), "O001").len(), 1);
+
+        let registry = "fn f(rec: &mut Recorder) {\n    rec.gauge_set(\"rss\", profile::peak_rss_bytes());\n}\n";
+        assert_eq!(active(&lint("crates/core/src/x.rs", registry), "O001").len(), 1);
+    }
+
+    #[test]
+    fn o001_flags_profiling_values_inside_protocol_closures() {
+        let src = "\
+fn drive(net: &mut Net, states: &mut [S]) {
+    net.step_state(states, |me, v, inbox, out| {
+        let stamp = profile::now_ns();
+        out.send(0, [stamp]);
+    });
+}
+";
+        let fs = lint("crates/core/src/x.rs", src);
+        assert_eq!(active(&fs, "O001").len(), 2, "origin in closure + tainted send: {fs:?}");
+    }
+
+    #[test]
+    fn o001_observer_only_use_is_clean_and_the_quarantine_is_exempt() {
+        // observing without a sink — timing a phase, reporting a sample —
+        // is the sanctioned shape
+        let observe = "fn f(rec: &mut Recorder) {\n    rec.phase_start(\"gathering\");\n    let rss = profile::peak_rss_bytes();\n    render(rss);\n}\n";
+        assert!(active(&lint("crates/core/src/x.rs", observe), "O001").is_empty());
+        // deterministic counters fed by logical quantities stay legal
+        let logical = "fn f(rec: &mut Recorder, stats: &RoundStats) {\n    rec.counter_add(\"net.rounds\", stats.rounds);\n}\n";
+        assert!(active(&lint("crates/core/src/x.rs", logical), "O001").is_empty());
+        // the quarantine file works with origins freely
+        let quarantine = "pub fn now_ns() -> u64 {\n    let e = epoch().elapsed();\n    sink().merge(&sample(e));\n}\n";
+        assert!(active(&lint("crates/metrics/src/profile.rs", quarantine), "O001").is_empty());
+    }
+
+    #[test]
+    fn metrics_crate_is_deterministic_with_profile_rs_whitelisted() {
+        let clock = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(active(&lint("crates/metrics/src/registry.rs", clock), "D003").len(), 1);
+        assert!(active(&lint("crates/metrics/src/profile.rs", clock), "D003").is_empty());
+        let sync = "fn f() { let b = std::sync::atomic::AtomicBool::new(false); }\n";
+        assert_eq!(active(&lint("crates/metrics/src/lib.rs", sync), "C001").len(), 1);
+        assert!(active(&lint("crates/metrics/src/profile.rs", sync), "C001").is_empty());
     }
 
     #[test]

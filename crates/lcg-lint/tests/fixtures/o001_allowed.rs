@@ -1,0 +1,27 @@
+// Allow-suppressed counterpart of o001_bad.rs, plus the sanctioned
+// observer-only idioms the quarantine permits. Never compiled — read as
+// text by fixtures_test.rs.
+
+use lcg_metrics::profile;
+
+/// Observing without a sink is the sanctioned shape: time phases,
+/// sample resources, render reports — never feed anything back.
+fn observe(rec: &mut Recorder) {
+    rec.phase_start("gathering");
+    run_gathering();
+    rec.phase_end("gathering");
+    let rss = profile::peak_rss_bytes();
+    render_line(rss);
+}
+
+/// The deterministic registry fed by logical quantities only: clean.
+fn account(rec: &mut Recorder, stats: &RoundStats) {
+    rec.counter_add("net.rounds", stats.rounds);
+    rec.counter_add("net.messages", stats.messages);
+}
+
+/// A justified escape hatch for a diagnostics-only flow.
+fn diagnose(rec: &mut Recorder) {
+    // lcg-lint: allow(O001) -- diagnostics-only mirror, stripped from goldens before any comparison
+    rec.gauge_set("diag.peak_rss", profile::peak_rss_bytes());
+}

@@ -133,6 +133,44 @@ fn d004_fires_and_is_suppressible() {
 }
 
 #[test]
+fn o001_fires_and_is_suppressible() {
+    let bad = lint_fixture("o001_bad.rs");
+    assert!(
+        active(&bad, "O001") >= 4,
+        "seed + protocol origin + tainted send + merge + registry: {bad:?}"
+    );
+    let ok = lint_fixture("o001_allowed.rs");
+    assert_eq!(active(&ok, "O001"), 0, "observer-only idioms must be clean: {ok:?}");
+    assert_eq!(suppressed(&ok, "O001"), 1, "the justified diagnostics flow is recorded: {ok:?}");
+}
+
+#[test]
+fn metrics_crate_is_under_the_deterministic_regime() {
+    // the registry/report/recorder layers are held to the same rules as
+    // the simulator ...
+    let p001 = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    for path in ["crates/metrics/src/registry.rs", "crates/metrics/src/bin/metrics_report.rs"] {
+        let findings = lint_source(path, p001);
+        assert_eq!(active(&findings, "P001"), 1, "{path}: {findings:?}");
+    }
+    // ... while the profiling plane's quarantine file is the one
+    // sanctioned home for the clock and its sample-sink synchronization
+    let profiling = "\
+fn sample() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+static SAMPLING: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+";
+    let findings = lint_source("crates/metrics/src/profile.rs", profiling);
+    assert_eq!(active(&findings, "D003"), 0, "quarantine may read the clock: {findings:?}");
+    assert_eq!(active(&findings, "C001"), 0, "quarantine may keep its sink: {findings:?}");
+    let findings = lint_source("crates/metrics/src/registry.rs", profiling);
+    assert!(active(&findings, "D003") >= 1, "outside the quarantine the clock is banned");
+    assert!(active(&findings, "C001") >= 1, "outside the quarantine atomics are banned");
+}
+
+#[test]
 fn trace_crate_is_under_the_deterministic_regime() {
     // the trace layer ships in every run's hot path; its library code —
     // including the trace-report binary under src/bin — is held to the

@@ -1,0 +1,53 @@
+//! `metrics-report` — renders a `metrics.json` two-plane report as a
+//! per-phase wall-time table, executor thread-utilization bars, the peak
+//! RSS high-water line, and the deterministic counter tables.
+//!
+//! ```text
+//! metrics-report <metrics.json>
+//! ```
+//!
+//! Produce a report with the experiments driver:
+//! `cargo run --release -p lcg-bench --bin experiments -- --metrics metrics.json`
+
+use lcg_metrics::{report, Report};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: metrics-report <metrics.json>
+
+Renders a two-plane metrics report (produced by `experiments --metrics` or
+lcg_metrics::Report::to_json) as:
+  - wall time and peak RSS high-water line
+  - a per-phase wall-time table with share bars
+  - per-worker executor utilization bars (busy vs rendezvous wait)
+  - the deterministic counter / gauge / histogram tables
+
+Options:
+  -h, --help   show this help";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let [path] = args.as_slice() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("metrics-report: cannot read `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let metrics = match Report::from_json(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("metrics-report: `{path}` is not a valid metrics report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report::render(&metrics));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,202 @@
+//! Human-readable rendering of a [`crate::Report`]: per-phase wall-time
+//! table, executor thread-utilization bars, the peak-RSS high-water line,
+//! and the deterministic counter/gauge/histogram tables.
+
+use crate::{Histogram, Report};
+use std::fmt::Write as _;
+
+const BAR_WIDTH: usize = 12;
+
+/// A `[0,1]` fraction as a fixed-width block bar.
+fn bar(frac: f64) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * BAR_WIDTH as f64).round() as usize;
+    let mut s = "█".repeat(filled);
+    s.push_str(&"░".repeat(BAR_WIDTH - filled));
+    s
+}
+
+/// Nanoseconds as a human-scaled duration string.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Bytes as a MiB string.
+fn fmt_mib(bytes: u64) -> String {
+    format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+fn histogram_line(name: &str, h: &Histogram) -> String {
+    format!(
+        "  {name:<28} count={} sum={} min={} max={} mean={:.1}",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        h.mean()
+    )
+}
+
+/// Renders the full two-plane report as text.
+#[must_use]
+pub fn render(report: &Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "metrics report: {} (schema v{})", report.label, report.schema);
+    let prof = &report.profile;
+    let _ = writeln!(
+        out,
+        "wall time: {}   peak RSS high-water: {}",
+        fmt_ns(prof.wall_ns),
+        fmt_mib(prof.peak_rss_bytes)
+    );
+
+    if !prof.phases.is_empty() {
+        let _ = writeln!(out, "\nphase wall time");
+        let total: u64 = prof.phases.iter().map(|p| p.wall_ns).sum();
+        for p in &prof.phases {
+            let frac = if total == 0 { 0.0 } else { p.wall_ns as f64 / total as f64 };
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>10}  {} {:5.1}%",
+                p.name,
+                fmt_ns(p.wall_ns),
+                bar(frac),
+                frac * 100.0
+            );
+        }
+    }
+
+    if !prof.exec.workers.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nexecutor utilization ({} workers, {} sampled batches)",
+            prof.exec.workers.len(),
+            prof.exec.batches
+        );
+        for (i, w) in prof.exec.workers.iter().enumerate() {
+            let u = w.utilization();
+            let _ = writeln!(
+                out,
+                "  w{i:<2} {} {:5.1}% busy   (busy {}, wait {}, {} jobs)",
+                bar(u),
+                u * 100.0,
+                fmt_ns(w.busy_ns),
+                fmt_ns(w.wait_ns),
+                w.jobs
+            );
+        }
+    }
+
+    let det = &report.deterministic;
+    if det.counters().next().is_some() {
+        let _ = writeln!(out, "\ndeterministic counters");
+        for (name, v) in det.counters() {
+            let _ = writeln!(out, "  {name:<28} {v}");
+        }
+    }
+    if det.gauges().next().is_some() {
+        let _ = writeln!(out, "\ndeterministic gauges");
+        for (name, v) in det.gauges() {
+            let _ = writeln!(out, "  {name:<28} {v}");
+        }
+    }
+    if det.histograms().next().is_some() {
+        let _ = writeln!(out, "\ndeterministic histograms");
+        for (name, h) in det.histograms() {
+            let _ = writeln!(out, "{}", histogram_line(name, h));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ExecProfile, PhaseTiming, ProfileReport, WorkerSample};
+    use crate::Registry;
+
+    fn sample_report() -> Report {
+        let mut det = Registry::new();
+        det.counter_add("net.messages", 1200);
+        det.gauge_set("framework.clusters", 7);
+        det.histogram_record("net.words_per_round", 64);
+        Report {
+            schema: Report::SCHEMA,
+            label: "test".to_string(),
+            deterministic: det,
+            profile: ProfileReport {
+                wall_ns: 2_500_000,
+                peak_rss_bytes: 10 * 1024 * 1024,
+                phases: vec![
+                    PhaseTiming { name: "election".to_string(), wall_ns: 1_000_000 },
+                    PhaseTiming { name: "gathering".to_string(), wall_ns: 1_500_000 },
+                ],
+                exec: ExecProfile {
+                    workers: vec![
+                        WorkerSample { busy_ns: 900, wait_ns: 100, jobs: 4 },
+                        WorkerSample { busy_ns: 500, wait_ns: 500, jobs: 4 },
+                    ],
+                    batches: 4,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn render_covers_every_section() {
+        let text = render(&sample_report());
+        for needle in [
+            "metrics report: test",
+            "peak RSS high-water: 10.0 MiB",
+            "phase wall time",
+            "election",
+            "executor utilization (2 workers, 4 sampled batches)",
+            "w0",
+            "deterministic counters",
+            "net.messages",
+            "deterministic gauges",
+            "framework.clusters",
+            "deterministic histograms",
+            "net.words_per_round",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn bars_saturate_at_their_width() {
+        assert_eq!(bar(2.0).chars().count(), BAR_WIDTH);
+        assert_eq!(bar(-1.0).chars().count(), BAR_WIDTH);
+        assert!(bar(1.0).chars().all(|c| c == '█'));
+        assert!(bar(0.0).chars().all(|c| c == '░'));
+    }
+
+    #[test]
+    fn durations_scale_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+    }
+
+    #[test]
+    fn empty_sections_are_omitted() {
+        let report = Report {
+            schema: Report::SCHEMA,
+            label: "empty".to_string(),
+            deterministic: Registry::new(),
+            profile: ProfileReport::default(),
+        };
+        let text = render(&report);
+        assert!(!text.contains("phase wall time"));
+        assert!(!text.contains("executor utilization"));
+        assert!(!text.contains("deterministic counters"));
+    }
+}

@@ -26,5 +26,6 @@ pub use lcg_congest as congest;
 pub use lcg_core as core;
 pub use lcg_expander as expander;
 pub use lcg_graph as graph;
+pub use lcg_metrics as metrics;
 pub use lcg_solvers as solvers;
 pub use lcg_trace as trace;

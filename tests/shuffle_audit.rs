@@ -160,9 +160,9 @@ fn batch_engines_match_sequential_baseline_under_shuffle_audit() {
 #[test]
 fn chunk_counters_merge_passes_the_auditor() {
     let parts = [
-        ChunkCounters { messages: 3, words: 9, max_words: 4 },
-        ChunkCounters { messages: 5, words: 25, max_words: 7 },
-        ChunkCounters { messages: 2, words: 4, max_words: 2 },
+        ChunkCounters { messages: 3, words: 9, max_words: 4, spilled: 0 },
+        ChunkCounters { messages: 5, words: 25, max_words: 7, spilled: 1 },
+        ChunkCounters { messages: 2, words: 4, max_words: 2, spilled: 0 },
     ];
     let mut canonical = ChunkCounters::default();
     for p in &parts {
