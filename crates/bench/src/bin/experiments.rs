@@ -50,6 +50,15 @@ usage: experiments [IDS...] [OPTIONS]
                       (default 0xFA17)
   --retry-budget N    max retries of the self-healing harness in E20
                       (default 3)
+  --checkpoint-every K  engine-plane checkpoint cadence in rounds for E24
+                      and the supervised run (default 8)
+  --kill-at-round R   inject a deterministic crash at round R in E24's
+                      engine plane (default: half the run)
+  --resume-from DIR   run the framework under the kill-and-resume
+                      supervisor, checkpointing into DIR and resuming any
+                      snapshots already there (the cross-process resume
+                      path); prints the checkpoint.* counters to stderr.
+                      With no IDS, run only the supervised run
   -h, --help          print this help";
 
 fn main() {
@@ -87,6 +96,16 @@ fn main() {
         let _: u32 = b.parse().expect("--retry-budget expects a number");
         std::env::set_var("LCG_RETRY_BUDGET", b);
     }
+    // E24 reads these; see crates/bench/src/experiments/e24_checkpoint.rs
+    if let Some(k) = flag_value("--checkpoint-every") {
+        let _: u64 = k.parse().expect("--checkpoint-every expects a round count");
+        std::env::set_var("LCG_CHECKPOINT_EVERY", k);
+    }
+    if let Some(r) = flag_value("--kill-at-round") {
+        let _: u64 = r.parse().expect("--kill-at-round expects a round number");
+        std::env::set_var("LCG_KILL_AT", r);
+    }
+    let resume_from = flag_value("--resume-from");
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let flags_with_value = [
         "--json",
@@ -97,6 +116,9 @@ fn main() {
         "--faults",
         "--fault-seed",
         "--retry-budget",
+        "--checkpoint-every",
+        "--kill-at-round",
+        "--resume-from",
     ];
     let selected: Vec<String> = args
         .iter()
@@ -118,6 +140,13 @@ fn main() {
 
     if let Some(path) = &metrics_path {
         run_metrics(path, scale, fault_drop, fault_seed);
+        if selected.is_empty() && resume_from.is_none() {
+            return;
+        }
+    }
+
+    if let Some(dir) = &resume_from {
+        run_checkpointed(dir, scale, fault_drop, fault_seed);
         if selected.is_empty() {
             return;
         }
@@ -176,6 +205,56 @@ fn run_traced(path: &str, top_k: usize, scale: Scale, fault_drop: Option<f64>, f
     std::fs::write(path, out.trace.to_jsonl()).expect("write trace file");
     eprintln!("{}", lcg_trace::report::render(&out.trace));
     eprintln!("<<< trace written to {path}\n");
+}
+
+/// One supervised framework run on the standard planar instance (same
+/// seed as the traced/metrics runs), checkpointing into `dir` at every
+/// attempt boundary and resuming any compatible snapshots already there —
+/// kill the process mid-run and invoke it again with the same `--resume-from`
+/// to watch the cross-process resume path lose at most one attempt.
+fn run_checkpointed(dir: &str, scale: Scale, fault_drop: Option<f64>, fault_seed: u64) {
+    use lcg_congest::FaultPlan;
+    use lcg_core::framework::FrameworkConfig;
+    use lcg_core::recovery::RecoveryPolicy;
+    use lcg_core::supervisor::{run_framework_checkpointed, CheckpointConfig};
+    use lcg_graph::gen;
+
+    let n = match scale {
+        Scale::Quick => 200,
+        Scale::Full => 2_000,
+    };
+    eprintln!(">>> running checkpointed framework (n={n}, dir={dir})...");
+    let mut rng = gen::seeded_rng(42);
+    let g = gen::random_planar(n, 0.5, &mut rng);
+    let cfg = FrameworkConfig {
+        metrics: true,
+        faults: fault_drop.map(|p| FaultPlan::drops(fault_seed, p)),
+        ..FrameworkConfig::planar(0.3, 42)
+    };
+    let policy = RecoveryPolicy {
+        max_retries: std::env::var("LCG_RETRY_BUDGET")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3),
+        initial_walk_steps: match scale {
+            Scale::Quick => 20_000,
+            Scale::Full => 200_000,
+        },
+    };
+    let ckpt = CheckpointConfig::new(dir);
+    let (outcome, recovery, sup) =
+        run_framework_checkpointed(&g, &cfg, &policy, &ckpt).expect("supervised framework run");
+    eprintln!(
+        "<<< outcome: {} rounds, {} attempts, degraded={} | checkpoint.saved={} \
+         checkpoint.resumed={} checkpoint.corrupt_skipped={} checkpoint.crashes={}\n",
+        outcome.stats.rounds,
+        recovery.attempts,
+        recovery.degraded,
+        sup.saved,
+        sup.resumed,
+        sup.corrupt_skipped,
+        sup.crashes
+    );
 }
 
 /// One metrics-recorded framework run on a planar instance, sized by

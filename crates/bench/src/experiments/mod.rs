@@ -20,6 +20,7 @@ pub mod e17_message_faithful;
 pub mod e18_scaling;
 pub mod e19_parallel;
 pub mod e20_chaos;
+pub mod e24_checkpoint;
 
 use crate::{Scale, Table};
 
@@ -49,5 +50,6 @@ pub fn all() -> Vec<(&'static str, Experiment)> {
         ("e18", e18_scaling::run),
         ("e19", e19_parallel::run),
         ("e20", e20_chaos::run),
+        ("e24", e24_checkpoint::run),
     ]
 }

@@ -39,6 +39,7 @@ mod model;
 pub mod msg;
 mod network;
 pub mod primitives;
+pub mod snapshot;
 pub mod stats;
 
 pub use algorithm::{run_programs, run_programs_state, NodeCtx, NodeProgram};
@@ -47,4 +48,5 @@ pub use faults::{FaultPlan, LinkFailure, NodeCrash};
 pub use model::Model;
 pub use msg::{Msg, INLINE_WORDS};
 pub use network::{ChunkCounters, Inbox, Message, Network, Outbox};
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotState, SnapshotWriter};
 pub use stats::RoundStats;

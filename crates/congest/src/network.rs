@@ -66,6 +66,7 @@ use crate::executor::{audit, chunk_of, pool, ExecConfig};
 use crate::faults::{FaultPlan, FaultState, FaultVerdict};
 use crate::model::Model;
 use crate::msg::{Msg, INLINE_WORDS};
+use crate::snapshot::{self, Dec, Enc, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::stats::RoundStats;
 
 /// A message. Historical alias of [`Msg`], which stores CONGEST-size
@@ -152,7 +153,9 @@ fn recycle_grid(slot: &mut Grid, mut grid: Grid) {
 /// });
 /// assert_eq!(net.stats().messages, 10);
 /// ```
+// lcg-lint: snapshot-root
 pub struct Network<'g> {
+    // lcg-lint: transient -- snapshots store the TOPO fingerprint only; resume binds a caller-provided graph
     g: &'g Graph,
     model: Model,
     exec: ExecConfig,
@@ -161,10 +164,13 @@ pub struct Network<'g> {
     pending: Grid,
     /// Pooled inbox grid: swapped with `pending` each round, cleared, and
     /// reused — the round engine allocates no buffers after construction.
+    // lcg-lint: transient -- all-None by the pool invariant; rebuilt fresh on resume, never serialized empty
     spare_inboxes: Grid,
     /// Pooled outgoing grid, reused the same way.
+    // lcg-lint: transient -- all-None by the pool invariant; rebuilt fresh on resume, never serialized empty
     spare_outgoing: Grid,
     /// `reverse[v][p] = (u, q)`: port `p` of `v` is port `q` of neighbor `u`.
+    // lcg-lint: transient -- pure function of the graph, recomputed by the resume constructor
     reverse: Vec<Vec<(usize, usize)>>,
     /// Opt-in trace recorder ([`Network::attach_tracer`]). `None` (the
     /// default) keeps every hot-path hook a skipped branch — no recording,
@@ -173,6 +179,7 @@ pub struct Network<'g> {
     /// `edge_of[v][p]`: host edge id behind port `p` of `v`. Built only
     /// when an attached tracer records per-edge loads or a fault plan is
     /// installed; empty otherwise.
+    // lcg-lint: transient -- pure function of the graph, rebuilt on demand by the resume path
     edge_of: Vec<Vec<usize>>,
     /// Compiled fault schedule ([`Network::set_fault_plan`]). `None` (the
     /// default) keeps both delivery paths on their historical fault-free
@@ -1496,6 +1503,190 @@ impl<'g> Network<'g> {
     /// Port of `v` that leads to neighbor `u`, if adjacent.
     pub fn port_to(&self, v: usize, u: usize) -> Option<usize> {
         self.g.neighbors(v).position(|(w, _)| w == u)
+    }
+}
+
+// ------------------------------------------------------------- snapshots
+//
+// Engine-state serialization (see `crate::snapshot` for the file format
+// and DESIGN.md §14 for the schema). Lives here because it is the one
+// consumer of the network's private fields outside the round engine.
+
+impl<'g> Network<'g> {
+    /// FNV-1a fingerprint of the graph's edge list: edge ids with their
+    /// endpoint pairs, in id order. Two graphs that fingerprint equal (at
+    /// equal `n`/`m`) are interchangeable as resume targets.
+    fn topology_fingerprint(g: &Graph) -> u64 {
+        let mut bytes = Vec::with_capacity(g.m() * 24);
+        for (e, u, v) in g.edges() {
+            bytes.extend_from_slice(&(e as u64).to_le_bytes());
+            bytes.extend_from_slice(&(u as u64).to_le_bytes());
+            bytes.extend_from_slice(&(v as u64).to_le_bytes());
+        }
+        snapshot::fnv1a64(&bytes)
+    }
+
+    /// Appends the engine's snapshot sections (`TOPO` … `METR`) to `w`.
+    /// Supervisors call this, then append their own sections (per-node
+    /// program state, RNG positions, progress) before writing the file.
+    ///
+    /// Only state that carries information across rounds is serialized:
+    /// the `pending` grid travels, the spare buffer pools do not (they are
+    /// all-`None` between rounds by the pool invariant and are rebuilt
+    /// fresh on resume), and `reverse`/`edge_of` are pure functions of the
+    /// graph. A fault schedule is stored as its *plan* — drop coins are
+    /// keyed by `(round, edge)` and the round counter is in `STAT`, so
+    /// plan + counter is complete fault progress. The metrics section
+    /// keeps only the deterministic registry; the profiling plane is
+    /// wall-clock state and deliberately dies with the process.
+    pub fn write_snapshot_sections(&self, w: &mut SnapshotWriter) {
+        let mut topo = Enc::new();
+        topo.usize(self.g.n());
+        topo.usize(self.g.m());
+        topo.u64(Network::topology_fingerprint(self.g));
+        w.section("TOPO", topo.into_bytes());
+        w.state_section("MODL", &self.model);
+        w.state_section("EXEC", &self.exec);
+        w.state_section("STAT", &self.stats);
+        w.state_section("PEND", &self.pending);
+        let plan: Option<FaultPlan> = self.faults.as_ref().map(|f| f.plan().clone());
+        w.state_section("FLTS", &plan);
+        let mut trce = Enc::new();
+        match &self.tracer {
+            None => trce.u8(0),
+            Some(t) => {
+                trce.u8(1);
+                trce.bytes(&t.snapshot_bytes());
+            }
+        }
+        w.section("TRCE", trce.into_bytes());
+        let mut metr = Enc::new();
+        match &self.metrics {
+            None => metr.u8(0),
+            Some(rec) => {
+                metr.u8(1);
+                metr.str(rec.label());
+                metr.str(&rec.registry().to_json());
+            }
+        }
+        w.section("METR", metr.into_bytes());
+    }
+
+    /// Writes a complete engine snapshot to `w`: magic, version header,
+    /// the checksummed sections of [`Network::write_snapshot_sections`],
+    /// and the terminator.
+    pub fn save_snapshot<W: std::io::Write>(&self, w: W) -> Result<(), SnapshotError> {
+        let mut sw = SnapshotWriter::new();
+        self.write_snapshot_sections(&mut sw);
+        sw.write_to(w)
+    }
+
+    /// Reconstructs a network from a parsed snapshot, binding it to `g`.
+    /// The snapshot's `TOPO` fingerprint must match `g` — resuming onto a
+    /// different graph is a typed [`SnapshotError::TopologyMismatch`],
+    /// not undefined behavior. All errors leave no partial state behind:
+    /// the network is built only after every section has decoded.
+    pub fn restore_snapshot_sections(
+        g: &'g Graph,
+        r: &SnapshotReader,
+    ) -> Result<Network<'g>, SnapshotError> {
+        let mut topo = Dec::new("TOPO", r.section("TOPO")?);
+        let (n, m, fp) = (topo.usize()?, topo.usize()?, topo.u64()?);
+        topo.finish()?;
+        let here = Network::topology_fingerprint(g);
+        if n != g.n() || m != g.m() || fp != here {
+            return Err(SnapshotError::TopologyMismatch {
+                detail: format!(
+                    "snapshot has n={n} m={m} edges#{fp:016x}, resume graph has n={} m={} edges#{here:016x}",
+                    g.n(),
+                    g.m()
+                ),
+            });
+        }
+        let model: Model = r.state_section("MODL")?;
+        let exec: ExecConfig = r.state_section("EXEC")?;
+        let stats: RoundStats = r.state_section("STAT")?;
+        let pending: Vec<Vec<Option<Msg>>> = r.state_section("PEND")?;
+        if pending.len() != g.n()
+            || pending.iter().enumerate().any(|(v, row)| row.len() != g.degree(v))
+        {
+            return Err(SnapshotError::Corrupt {
+                detail: "pending grid shape does not match the graph".to_string(),
+            });
+        }
+        let plan: Option<FaultPlan> = r.state_section("FLTS")?;
+        if let Some(p) = &plan {
+            if p.link_failures.iter().any(|l| l.edge >= g.m())
+                || p.crashes.iter().any(|c| c.node >= g.n())
+            {
+                return Err(SnapshotError::Corrupt {
+                    detail: "fault plan references edges/nodes outside the graph".to_string(),
+                });
+            }
+        }
+        let mut trce = Dec::new("TRCE", r.section("TRCE")?);
+        let tracer = match trce.u8()? {
+            0 => None,
+            1 => {
+                let bytes = trce.bytes()?;
+                Some(Tracer::from_snapshot_bytes(bytes).map_err(|e| SnapshotError::Corrupt {
+                    detail: format!("tracer state: {e}"),
+                })?)
+            }
+            t => {
+                return Err(SnapshotError::Corrupt { detail: format!("bad TRCE tag {t}") });
+            }
+        };
+        trce.finish()?;
+        let mut metr = Dec::new("METR", r.section("METR")?);
+        let metrics = match metr.u8()? {
+            0 => None,
+            1 => {
+                let label = metr.str()?;
+                let registry =
+                    lcg_metrics::Registry::from_json(&metr.str()?).map_err(|e| {
+                        SnapshotError::Corrupt { detail: format!("metrics registry: {e}") }
+                    })?;
+                let mut rec = Recorder::new(&label);
+                rec.merge_registry(&registry);
+                Some(rec)
+            }
+            t => {
+                return Err(SnapshotError::Corrupt { detail: format!("bad METR tag {t}") });
+            }
+        };
+        metr.finish()?;
+
+        // every section decoded — only now is engine state assembled
+        let mut net = Network::with_exec(g, model, exec);
+        net.stats = stats;
+        net.pending = pending;
+        net.set_fault_plan(plan); // recompiles FaultState from the plan
+        if let Some(t) = tracer {
+            if t.records_edge_loads() && net.edge_of.is_empty() {
+                net.edge_of = (0..g.n())
+                    .map(|v| g.neighbors(v).map(|(_, e)| e).collect())
+                    .collect();
+            }
+            // direct field set: `attach_tracer` would re-bind the topology
+            // and reset the restored per-edge loads
+            net.tracer = Some(t);
+        }
+        net.metrics = metrics;
+        Ok(net)
+    }
+
+    /// Reads a complete snapshot from `r` and resumes it against `g` —
+    /// the inverse of [`Network::save_snapshot`]. A resumed network
+    /// continues bit-identically to the network that was saved: same
+    /// stats, same in-flight messages, same fault schedule at the same
+    /// round, same RNG-free engine state.
+    pub fn resume_snapshot<R: std::io::Read>(
+        g: &'g Graph,
+        r: R,
+    ) -> Result<Network<'g>, SnapshotError> {
+        let reader = SnapshotReader::read_from(r)?;
+        Network::restore_snapshot_sections(g, &reader)
     }
 }
 

@@ -72,6 +72,7 @@ impl Default for RecoveryPolicy {
 
 /// What the retry harness did, alongside the outcome it produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "the report says whether the outcome is the degraded singleton substitution"]
 pub struct RecoveryReport {
     /// Framework executions performed (1 = clean first run).
     pub attempts: u32,
@@ -90,7 +91,7 @@ pub struct RecoveryReport {
 /// check to `det_net` (a fault-free control network on the host graph).
 /// Returns one line per detected failure; empty means the execution
 /// passed.
-fn detect_failures(outcome: &FrameworkOutcome, det_net: &mut Network) -> Vec<String> {
+pub(crate) fn detect_failures(outcome: &FrameworkOutcome, det_net: &mut Network) -> Vec<String> {
     let mut verdicts = Vec::new();
     let mut diam_bound = 0usize;
     for c in &outcome.clusters {
@@ -184,7 +185,11 @@ pub fn singleton_outcome(g: &Graph, cfg: &FrameworkConfig) -> FrameworkOutcome {
 /// Stamps the recovery verdict into a folded metrics report (counters
 /// `recovery.attempts`, `recovery.degraded`, `recovery.detector_rounds`),
 /// passing `None` through when metrics were off.
-fn seal_recovery_metrics(
+///
+/// The terminal seal is the **only** place these counters are written —
+/// checkpoints persist the pre-seal fold, so a resumed run can never
+/// double-count them (see [`crate::supervisor`]).
+pub(crate) fn seal_recovery_metrics(
     folded: Option<Report>,
     attempts: u32,
     degraded: bool,
@@ -216,6 +221,7 @@ fn seal_recovery_metrics(
 /// so the fold is still bit-stable) and keeps the final attempt's
 /// profiling plane, then stamps the `recovery.*` verdict counters — even
 /// on degradation, where the report survives the singleton substitution.
+#[must_use = "dropping the result discards both the outcome and the degradation verdict"]
 pub fn run_framework_resilient(
     g: &Graph,
     cfg: &FrameworkConfig,

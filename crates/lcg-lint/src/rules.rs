@@ -203,6 +203,23 @@ pub const RULES: &[RuleInfo] = &[
               `// lcg-lint: allow(O001) -- <why results cannot depend on it>`",
     },
     RuleInfo {
+        id: "S001",
+        severity: Severity::Error,
+        summary: "snapshot-reachable struct fields must be serialized (named in the snapshot codec region) or declared `// lcg-lint: transient -- reason`",
+        rationale: "a checkpoint that silently drops a field resumes into a subtly different \
+                    engine: the run keeps going and diverges from the straight-through \
+                    execution only where the forgotten state mattered — the worst possible \
+                    bug to localize, because every corruption check passes. Forcing each \
+                    field of a snapshot-reachable type to be either mentioned by the codec \
+                    or declared transient (with the reconstruction argument inline) turns \
+                    that silent drift into a lint error the moment the field is added.",
+        example: "// lcg-lint: snapshot-root\nstruct Engine {\n    cache: Vec<u64>,  // never touched by any *snapshot* fn\n}",
+        fix: "serialize the field (mention it in the `impl SnapshotState` block or a \
+              `*snapshot*` fn of the same file), or justify the omission with \
+              `// lcg-lint: transient -- <how resume reconstructs it>`; a field that truly \
+              cannot be either is state the checkpoint design has to account for",
+    },
+    RuleInfo {
         id: "A000",
         severity: Severity::Error,
         summary: "lcg-lint allow comment without a `-- reason` justification",
@@ -555,6 +572,13 @@ pub fn check_file_with_model(ctx: &FileCtx, lines: &[Line], facts: &FileFacts) -
         }
     }
 
+    // S001: snapshot-reachable structs must not carry silently-dropped
+    // fields — each field is either named by the snapshot codec region or
+    // explicitly declared transient with its reconstruction argument.
+    if ctx.deterministic() && !ctx.non_library_target {
+        check_s001(&mut findings, &mut emit, lines);
+    }
+
     findings
 }
 
@@ -693,6 +717,219 @@ fn check_o001(
     }
     if protocol_line {
         emit(findings, "O001", i, col, format!("{what} inside protocol code: per-vertex logic must be a pure function of (state, inbox, seed) — wall-clock and scheduler observations must stay invisible to vertices"));
+    }
+}
+
+/// The S001 transient-field escape hatch. Reason after `--` is
+/// mandatory, the same contract as `allow` and `commutative`.
+pub const TRANSIENT_MARKER: &str = "lcg-lint: transient";
+
+/// Marks a struct as a snapshot root for S001. Its codec coverage region
+/// is every same-file `fn` with `snapshot` in its name — the save/resume
+/// family — rather than an `impl SnapshotState` block.
+pub const SNAPSHOT_ROOT_MARKER: &str = "lcg-lint: snapshot-root";
+
+/// The serialization trait S001 anchors on: `impl SnapshotState for T`
+/// makes the same-file struct `T` snapshot-reachable, and the impl block
+/// is its codec coverage region.
+const SNAPSHOT_TRAIT_FOR: &str = "SnapshotState for ";
+
+/// S001 whole-file pass: finds snapshot-reachable structs (same-file
+/// `impl SnapshotState` targets, and `snapshot-root`-marked structs),
+/// then demands every field be word-mentioned inside the struct's codec
+/// coverage region or carry a justified transient annotation.
+///
+/// Deliberately file-local, like every binding collector in this module:
+/// a struct whose codec lives in another file must either move next to
+/// it or mark its fields — the rule is a ratchet on *new* snapshot
+/// state, not a cross-crate reachability analysis.
+fn check_s001(
+    findings: &mut Vec<Finding>,
+    emit: &mut impl FnMut(&mut Vec<Finding>, &'static str, usize, usize, String),
+    lines: &[Line],
+) {
+    // Codec coverage regions, keyed by struct name. An `impl
+    // SnapshotState for T` block covers `T`; snapshot-root structs are
+    // covered by every fn with `snapshot` in its name.
+    let mut coverage: Vec<(String, Vec<(usize, usize)>)> = Vec::new();
+    let push_region = |coverage: &mut Vec<(String, Vec<(usize, usize)>)>,
+                           name: String,
+                           region: (usize, usize)| {
+        match coverage.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, regions)) => regions.push(region),
+            None => coverage.push((name, vec![region])),
+        }
+    };
+
+    let mut snapshot_fns: Vec<(usize, usize)> = Vec::new();
+    let mut root_structs: Vec<(usize, String)> = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        // `impl SnapshotState for T` → coverage region for struct T
+        if find_word(code, "impl").is_some() {
+            if let Some(pos) = code.find(SNAPSHOT_TRAIT_FOR) {
+                let target = code[pos + SNAPSHOT_TRAIT_FOR.len()..].trim_start();
+                if let Some(name) = leading_ident(target) {
+                    push_region(&mut coverage, name, (i, brace_block_end(lines, i)));
+                }
+            }
+        }
+        // `fn *snapshot*` → part of every snapshot root's coverage
+        if let Some(fn_pos) = find_word(code, "fn") {
+            let after = code[fn_pos + 2..].trim_start();
+            if let Some(name) = leading_ident(after) {
+                if name.contains("snapshot") {
+                    snapshot_fns.push((i, brace_block_end(lines, i)));
+                }
+            }
+        }
+        // struct definitions, and which of them are snapshot roots
+        if let Some(st_pos) = find_word(code, "struct") {
+            let after = code[st_pos + "struct".len()..].trim_start();
+            if let Some(name) = leading_ident(after) {
+                if annotation_above(lines, i, SNAPSHOT_ROOT_MARKER, false) {
+                    root_structs.push((i, name));
+                }
+            }
+        }
+    }
+    for (_, name) in &root_structs {
+        for &region in &snapshot_fns {
+            push_region(&mut coverage, name.clone(), region);
+        }
+    }
+
+    // Walk the reachable struct definitions and check their fields.
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        let Some(st_pos) = find_word(code, "struct") else { continue };
+        let after = code[st_pos + "struct".len()..].trim_start();
+        let Some(name) = leading_ident(after) else { continue };
+        let Some((_, regions)) = coverage.iter().find(|(n, _)| *n == name) else { continue };
+        let covered: String = regions
+            .iter()
+            .flat_map(|&(a, b)| lines[a..=b.min(lines.len() - 1)].iter())
+            .map(|l| l.code.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        for (fline, field) in struct_fields(lines, i) {
+            if annotation_above(lines, fline, TRANSIENT_MARKER, true) {
+                continue;
+            }
+            if find_word(&covered, &field).is_some() {
+                continue;
+            }
+            emit(findings, "S001", fline, 0, format!("field `{field}` of snapshot-reachable `{name}` is neither named in the snapshot codec region nor declared `// lcg-lint: transient -- <how resume reconstructs it>`; a resumed engine would silently diverge wherever this state mattered"));
+        }
+    }
+}
+
+/// 0-based line of the `}` closing the first `{` at or after line
+/// `start` (file end when unbalanced — conservative for coverage). A `;`
+/// before any `{` means a bodyless item: the region is its own line.
+fn brace_block_end(lines: &[Line], start: usize) -> usize {
+    let mut depth = 0i64;
+    let mut opened = false;
+    for (l, line) in lines.iter().enumerate().skip(start) {
+        for c in line.code.chars() {
+            match c {
+                ';' if !opened => return l,
+                '{' => {
+                    opened = true;
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if opened && depth <= 0 {
+                        return l;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    lines.len().saturating_sub(1)
+}
+
+/// Fields of the struct whose `struct` keyword sits on `sig_line`, as
+/// (0-based line, name) pairs. Line-based like the rest of the linter:
+/// one field per line at brace depth 1, the declaration style of every
+/// snapshot-reachable struct in this workspace.
+fn struct_fields(lines: &[Line], sig_line: usize) -> Vec<(usize, String)> {
+    let end = brace_block_end(lines, sig_line);
+    let mut fields = Vec::new();
+    let mut depth = 0i64;
+    for (l, line) in lines.iter().enumerate().take(end + 1).skip(sig_line) {
+        let code = line.code.as_str();
+        if depth == 1 {
+            let decl = strip_visibility(code.trim_start());
+            if let Some(name) = leading_ident(decl) {
+                let after = decl[name.len()..].trim_start();
+                if after.starts_with(':') && !after.starts_with("::") {
+                    fields.push((l, name));
+                }
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Strips a leading `pub` / `pub(crate)` / `pub(super)` visibility
+/// qualifier from a field declaration.
+fn strip_visibility(s: &str) -> &str {
+    let Some(rest) = s.strip_prefix("pub") else { return s };
+    let trimmed = rest.trim_start();
+    if let Some(in_parens) = trimmed.strip_prefix('(') {
+        if let Some(close) = in_parens.find(')') {
+            return in_parens[close + 1..].trim_start();
+        }
+        return s;
+    }
+    if rest.starts_with(char::is_whitespace) { trimmed } else { s }
+}
+
+/// `true` when the comment run at/above `sig_line` (the line itself,
+/// then contiguous comment-only and attribute lines walking up) contains
+/// `marker`; `with_reason` additionally demands a non-empty `-- reason`
+/// tail, the same contract as `allow` and `commutative`.
+fn annotation_above(lines: &[Line], sig_line: usize, marker: &str, with_reason: bool) -> bool {
+    let mut l = sig_line;
+    loop {
+        let line = &lines[l];
+        if let Some(pos) = line.comment.find(marker) {
+            if !with_reason {
+                return true;
+            }
+            let tail = &line.comment[pos + marker.len()..];
+            if tail
+                .find("--")
+                .map(|i| !tail[i + 2..].trim().is_empty())
+                .unwrap_or(false)
+            {
+                return true;
+            }
+        }
+        if l == 0 {
+            return false;
+        }
+        l -= 1;
+        let code = lines[l].code.trim();
+        if !(code.is_empty() || code.starts_with("#[")) {
+            return false;
+        }
     }
 }
 
@@ -1281,6 +1518,86 @@ fn drive(net: &mut Net, states: &mut [S]) {
         let sync = "fn f() { let b = std::sync::atomic::AtomicBool::new(false); }\n";
         assert_eq!(active(&lint("crates/metrics/src/lib.rs", sync), "C001").len(), 1);
         assert!(active(&lint("crates/metrics/src/profile.rs", sync), "C001").is_empty());
+    }
+
+    #[test]
+    fn s001_flags_uncovered_fields_of_impl_targets() {
+        let src = "\
+pub struct Ckpt {
+    pub rounds: u64,
+    cache: Vec<u64>,
+}
+impl SnapshotState for Ckpt {
+    fn enc(&self, out: &mut Vec<u8>) { self.rounds.enc(out); }
+}
+";
+        let fs = lint("crates/core/src/x.rs", src);
+        let hits = active(&fs, "S001");
+        assert_eq!(hits.len(), 1, "{fs:?}");
+        assert_eq!(hits[0].line, 3, "`cache` is the dropped field");
+    }
+
+    #[test]
+    fn s001_snapshot_root_structs_are_covered_by_snapshot_fns() {
+        let src = "\
+// lcg-lint: snapshot-root
+pub struct Engine {
+    stats: u64,
+    scratch: Vec<u64>,
+}
+fn save_snapshot(e: &Engine, out: &mut Vec<u8>) { write(out, e.stats); }
+";
+        let fs = lint("crates/congest/src/x.rs", src);
+        let hits = active(&fs, "S001");
+        assert_eq!(hits.len(), 1, "{fs:?}");
+        assert_eq!(hits[0].line, 4, "`scratch` never reaches a snapshot fn");
+    }
+
+    #[test]
+    fn s001_transient_annotation_needs_a_reason() {
+        let justified = "\
+pub struct Ckpt {
+    pub rounds: u64,
+    // lcg-lint: transient -- rebuilt from the graph on resume
+    cache: Vec<u64>,
+}
+impl SnapshotState for Ckpt {
+    fn enc(&self, out: &mut Vec<u8>) { self.rounds.enc(out); }
+}
+";
+        assert!(active(&lint("crates/core/src/x.rs", justified), "S001").is_empty());
+        let bare = justified.replace(" -- rebuilt from the graph on resume", "");
+        assert_eq!(active(&lint("crates/core/src/x.rs", &bare), "S001").len(), 1);
+    }
+
+    #[test]
+    fn s001_ignores_unreachable_structs_and_test_code() {
+        let plain = "pub struct Config {\n    cache: Vec<u64>,\n}\n";
+        assert!(active(&lint("crates/core/src/x.rs", plain), "S001").is_empty());
+        let in_test = "\
+#[cfg(test)]
+mod tests {
+    // lcg-lint: snapshot-root
+    struct Probe {
+        scratch: u64,
+    }
+}
+";
+        assert!(active(&lint("crates/congest/src/x.rs", in_test), "S001").is_empty());
+    }
+
+    #[test]
+    fn s001_allow_suppresses_on_the_field_line() {
+        let src = "\
+// lcg-lint: snapshot-root
+pub struct Engine {
+    scratch: Vec<u64>, // lcg-lint: allow(S001) -- demo
+}
+fn save_snapshot(e: &Engine, out: &mut Vec<u8>) { body(out); }
+";
+        let fs = lint("crates/congest/src/x.rs", src);
+        assert!(active(&fs, "S001").is_empty(), "{fs:?}");
+        assert_eq!(fs.iter().filter(|f| f.allowed.is_some()).count(), 1);
     }
 
     #[test]

@@ -1,0 +1,36 @@
+// Clean counterpart of s001_bad.rs: every field of a snapshot-reachable
+// struct is either named by the codec region or declared transient with
+// its reconstruction argument — plus one justified allow.
+
+pub struct Ckpt {
+    pub rounds: u64,
+    // lcg-lint: transient -- derived cache, rebuilt lazily on first use after resume
+    scratch: Vec<u64>,
+}
+
+impl SnapshotState for Ckpt {
+    fn enc(&self, out: &mut Vec<u8>) {
+        self.rounds.enc(out);
+    }
+    fn dec(r: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(Ckpt { rounds: u64::dec(r)?, scratch: Vec::new() })
+    }
+}
+
+// lcg-lint: snapshot-root
+pub struct Engine {
+    stats: u64,
+    /// Pool of recycled buffers; all-empty between rounds by invariant.
+    // lcg-lint: transient -- all-empty at every checkpoint boundary, rebuilt fresh on resume
+    cache: Vec<u64>,
+    probe: u64, // lcg-lint: allow(S001) -- fixture demo: migration shim removed next release
+}
+
+fn save_snapshot(e: &Engine, out: &mut Vec<u8>) {
+    write_u64(out, e.stats);
+}
+
+// Structs that are not snapshot-reachable are out of scope entirely.
+pub struct Config {
+    retries: u32,
+}

@@ -1,0 +1,32 @@
+// Known-bad fixture for S001: snapshot-reachable structs carrying fields
+// the codec silently drops — a resumed engine would diverge wherever that
+// state mattered.
+
+// A codec that forgets a field: `scratch` never appears in the impl block.
+pub struct Ckpt {
+    pub rounds: u64,
+    scratch: Vec<u64>,
+}
+
+impl SnapshotState for Ckpt {
+    fn enc(&self, out: &mut Vec<u8>) {
+        self.rounds.enc(out);
+    }
+    fn dec(r: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(Ckpt { rounds: u64::dec(r)?, ..Default::default() })
+    }
+}
+
+// A snapshot root whose save path forgets a field, and a transient
+// annotation missing its mandatory `-- reason` (which does not count).
+// lcg-lint: snapshot-root
+pub struct Engine {
+    stats: u64,
+    informed: Vec<bool>,
+    // lcg-lint: transient
+    cache: Vec<u64>,
+}
+
+fn save_snapshot(e: &Engine, out: &mut Vec<u8>) {
+    write_u64(out, e.stats);
+}

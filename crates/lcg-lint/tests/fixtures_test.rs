@@ -145,6 +145,19 @@ fn o001_fires_and_is_suppressible() {
 }
 
 #[test]
+fn s001_fires_and_is_suppressible() {
+    let bad = lint_fixture("s001_bad.rs");
+    assert_eq!(
+        active(&bad, "S001"),
+        3,
+        "forgotten codec field + forgotten save field + reasonless transient: {bad:?}"
+    );
+    let ok = lint_fixture("s001_allowed.rs");
+    assert_eq!(active(&ok, "S001"), 0, "transient-with-reason and covered fields pass: {ok:?}");
+    assert_eq!(suppressed(&ok, "S001"), 1, "the justified allow is recorded: {ok:?}");
+}
+
+#[test]
 fn metrics_crate_is_under_the_deterministic_regime() {
     // the registry/report/recorder layers are held to the same rules as
     // the simulator ...

@@ -261,6 +261,181 @@ impl Tracer {
         }
     }
 
+    /// Serializes the tracer's complete recording state — config, bound
+    /// topology, cumulative counters, the span tree *including the stack
+    /// of still-open spans*, series, edge loads, and fault events — into
+    /// a self-describing byte blob for the engine snapshot layer.
+    ///
+    /// Unlike [`Tracer::finish`], open spans are legal here: a snapshot
+    /// taken mid-phase must capture the open stack so the resumed run
+    /// closes the same spans the original opened.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_str(&mut out, &self.cfg.label);
+        out.push(self.cfg.series as u8);
+        out.push(self.cfg.edge_loads as u8);
+        put_u64(&mut out, self.cfg.top_k as u64);
+        put_u64(&mut out, self.n as u64);
+        put_u64(&mut out, self.m as u64);
+        put_u64(&mut out, self.ends.len() as u64);
+        for &(u, v) in &self.ends {
+            put_u64(&mut out, u as u64);
+            put_u64(&mut out, v as u64);
+        }
+        put_u64(&mut out, self.rounds);
+        put_u64(&mut out, self.messages);
+        put_u64(&mut out, self.words);
+        put_u64(&mut out, self.max_words as u64);
+        put_u64(&mut out, self.spans.len() as u64);
+        for s in &self.spans {
+            put_str(&mut out, &s.name);
+            put_opt_u64(&mut out, s.parent.map(|p| p as u64));
+            put_u64(&mut out, s.depth as u64);
+            put_u64(&mut out, s.start_round);
+            put_opt_u64(&mut out, s.end_round);
+            put_u64(&mut out, s.rounds);
+            put_u64(&mut out, s.messages);
+            put_u64(&mut out, s.words);
+            put_u64(&mut out, s.max_words as u64);
+            put_u64(&mut out, s.notes.len() as u64);
+            for (k, v) in &s.notes {
+                put_str(&mut out, k);
+                put_u64(&mut out, *v);
+            }
+        }
+        put_u64(&mut out, self.open.len() as u64);
+        for &i in &self.open {
+            put_u64(&mut out, i as u64);
+        }
+        put_u64(&mut out, self.series.len() as u64);
+        for s in &self.series {
+            put_u64(&mut out, s.round);
+            put_u64(&mut out, s.messages);
+            put_u64(&mut out, s.words);
+            put_u64(&mut out, s.max_edge_words as u64);
+        }
+        put_u64(&mut out, self.edge_words.len() as u64);
+        for &w in &self.edge_words {
+            put_u64(&mut out, w);
+        }
+        put_u64(&mut out, self.faults.len() as u64);
+        for f in &self.faults {
+            put_u64(&mut out, f.round);
+            put_str(&mut out, &f.kind);
+            put_u64(&mut out, f.count);
+        }
+        out
+    }
+
+    /// Reconstructs a tracer from [`Tracer::snapshot_bytes`] output. A
+    /// restored tracer continues recording exactly where the original
+    /// stood: same open-span stack, same counters, same edge loads.
+    ///
+    /// Errors (with a description) on truncated or malformed input; never
+    /// panics and never returns a half-decoded tracer.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Tracer, String> {
+        let mut r = ByteReader { buf: bytes, at: 0 };
+        let label = r.str_()?;
+        let series_on = r.u8_()? != 0;
+        let edge_loads = r.u8_()? != 0;
+        let top_k = r.usize_()?;
+        let cfg = TraceConfig { label, series: series_on, edge_loads, top_k };
+        let n = r.usize_()?;
+        let m = r.usize_()?;
+        let ends_len = r.usize_()?;
+        let mut ends = Vec::with_capacity(ends_len.min(r.remaining() / 16));
+        for _ in 0..ends_len {
+            let u = r.usize_()?;
+            let v = r.usize_()?;
+            ends.push((u, v));
+        }
+        let rounds = r.u64_()?;
+        let messages = r.u64_()?;
+        let words = r.u64_()?;
+        let max_words = r.usize_()?;
+        let span_count = r.usize_()?;
+        let mut spans = Vec::with_capacity(span_count.min(r.remaining() / 8));
+        for _ in 0..span_count {
+            let name = r.str_()?;
+            let parent = r.opt_u64_()?.map(|p| p as usize);
+            let depth = r.usize_()?;
+            let start_round = r.u64_()?;
+            let end_round = r.opt_u64_()?;
+            let s_rounds = r.u64_()?;
+            let s_messages = r.u64_()?;
+            let s_words = r.u64_()?;
+            let s_max_words = r.usize_()?;
+            let notes_len = r.usize_()?;
+            let mut notes = Vec::with_capacity(notes_len.min(r.remaining() / 8));
+            for _ in 0..notes_len {
+                let k = r.str_()?;
+                let v = r.u64_()?;
+                notes.push((k, v));
+            }
+            spans.push(SpanData {
+                name,
+                parent,
+                depth,
+                start_round,
+                end_round,
+                rounds: s_rounds,
+                messages: s_messages,
+                words: s_words,
+                max_words: s_max_words,
+                notes,
+            });
+        }
+        let open_len = r.usize_()?;
+        let mut open = Vec::with_capacity(open_len.min(r.remaining() / 8));
+        for _ in 0..open_len {
+            let i = r.usize_()?;
+            if i >= spans.len() {
+                return Err(format!("open-span index {i} out of range ({} spans)", spans.len()));
+            }
+            open.push(i);
+        }
+        let series_len = r.usize_()?;
+        let mut series = Vec::with_capacity(series_len.min(r.remaining() / 32));
+        for _ in 0..series_len {
+            let round = r.u64_()?;
+            let s_messages = r.u64_()?;
+            let s_words = r.u64_()?;
+            let max_edge_words = r.usize_()?;
+            series.push(RoundSample { round, messages: s_messages, words: s_words, max_edge_words });
+        }
+        let ew_len = r.usize_()?;
+        let mut edge_words = Vec::with_capacity(ew_len.min(r.remaining() / 8));
+        for _ in 0..ew_len {
+            edge_words.push(r.u64_()?);
+        }
+        let faults_len = r.usize_()?;
+        let mut faults = Vec::with_capacity(faults_len.min(r.remaining() / 16));
+        for _ in 0..faults_len {
+            let round = r.u64_()?;
+            let kind = r.str_()?;
+            let count = r.u64_()?;
+            faults.push(FaultEvent { round, kind, count });
+        }
+        if r.remaining() != 0 {
+            return Err(format!("{} trailing bytes after tracer state", r.remaining()));
+        }
+        Ok(Tracer {
+            cfg,
+            n,
+            m,
+            ends,
+            rounds,
+            messages,
+            words,
+            max_words,
+            spans,
+            open,
+            series,
+            edge_words,
+            faults,
+        })
+    }
+
     /// Seals the recording into an immutable [`Trace`]: resolves the span
     /// tree, computes the top-k hotspots, and snapshots the totals.
     ///
@@ -330,6 +505,87 @@ impl Tracer {
             hotspots,
             faults: self.faults,
         }
+    }
+}
+
+// ---- snapshot byte codec (little-endian, length-prefixed strings) ----
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked sequential reader over a snapshot blob; every accessor
+/// errors (never panics) on truncation.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl ByteReader<'_> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn u8_(&mut self) -> Result<u8, String> {
+        let b = *self
+            .buf
+            .get(self.at)
+            .ok_or_else(|| format!("truncated tracer state at byte {}", self.at))?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn u64_(&mut self) -> Result<u64, String> {
+        let end = self.at + 8;
+        let bytes = self
+            .buf
+            .get(self.at..end)
+            .ok_or_else(|| format!("truncated tracer state at byte {}", self.at))?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(bytes);
+        self.at = end;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn usize_(&mut self) -> Result<usize, String> {
+        let v = self.u64_()?;
+        usize::try_from(v).map_err(|_| format!("value {v} does not fit usize"))
+    }
+
+    fn opt_u64_(&mut self) -> Result<Option<u64>, String> {
+        match self.u8_()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64_()?)),
+            t => Err(format!("bad Option tag {t}")),
+        }
+    }
+
+    fn str_(&mut self) -> Result<String, String> {
+        let len = self.usize_()?;
+        if len > self.remaining() {
+            return Err(format!("string of {len} bytes exceeds remaining {}", self.remaining()));
+        }
+        let end = self.at + len;
+        let s = std::str::from_utf8(&self.buf[self.at..end])
+            .map_err(|e| format!("non-utf8 string in tracer state: {e}"))?
+            .to_string();
+        self.at = end;
+        Ok(s)
     }
 }
 
@@ -447,5 +703,44 @@ mod tests {
         let trace = t.finish();
         let s = trace.span("gathering").expect("span recorded");
         assert_eq!((s.rounds, s.messages, s.words), (0, 100, 200));
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_recording_with_open_spans() {
+        let mut t = Tracer::new(TraceConfig::full("ckpt").with_top_k(3));
+        t.bind_topology(3, 3, vec![(0, 1), (1, 2), (0, 2)]);
+        let outer = t.open_span("outer");
+        t.record_round(2, 4, 1);
+        t.add_edge_words(1, 7);
+        let _inner = t.open_span("inner");
+        t.record_fault("drop", 2);
+        // snapshot while two spans are open — the resumed twin must close
+        // them exactly as the original would
+        let bytes = t.snapshot_bytes();
+        let mut back = Tracer::from_snapshot_bytes(&bytes).expect("valid snapshot decodes");
+        assert_eq!(back.snapshot_bytes(), bytes, "re-snapshot is byte-identical");
+        // drive both forward identically and compare the sealed traces
+        for tr in [&mut t, &mut back] {
+            tr.record_round(1, 2, 1);
+            let inner_id = SpanId(1);
+            tr.close_span(inner_id);
+            tr.close_span(outer);
+        }
+        assert_eq!(t.finish(), back.finish());
+    }
+
+    #[test]
+    fn truncated_snapshot_errors_cleanly() {
+        let mut t = Tracer::new(TraceConfig::spans_only("x"));
+        let sp = t.open_span("phase");
+        t.record_round(1, 1, 1);
+        t.close_span(sp);
+        let bytes = t.snapshot_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Tracer::from_snapshot_bytes(&bytes[..cut]).is_err(),
+                "truncation at byte {cut} must be rejected"
+            );
+        }
     }
 }

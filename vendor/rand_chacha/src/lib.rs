@@ -82,6 +82,46 @@ impl<const DOUBLE_ROUNDS: usize> ChaChaCore<DOUBLE_ROUNDS> {
         self.idx += 1;
         w
     }
+
+    /// The 32-byte seed this stream was constructed from (the key words,
+    /// re-serialized little-endian — `from_seed_bytes` is its inverse).
+    fn seed_bytes(&self) -> [u8; 32] {
+        let mut seed = [0u8; 32];
+        for (i, w) in self.key.iter().enumerate() {
+            seed[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        seed
+    }
+
+    /// Number of 32-bit keystream words consumed so far.
+    ///
+    /// `refill` increments `counter` *after* buffering a block, so a
+    /// buffered state `(counter, idx)` sits at word
+    /// `(counter - 1) * 16 + idx`; the pristine post-seed state
+    /// (`counter == 0`, `idx == 16`) is position 0.
+    fn word_pos(&self) -> u64 {
+        if self.counter == 0 {
+            0
+        } else {
+            (self.counter - 1)
+                .wrapping_mul(16)
+                .wrapping_add(self.idx as u64)
+        }
+    }
+
+    /// Repositions the stream to absolute keystream word `pos`, as if
+    /// exactly `pos` words had been drawn since seeding. Never re-keys:
+    /// the seed stays what it was, only the block counter and the
+    /// intra-block index move.
+    fn set_word_pos(&mut self, pos: u64) {
+        self.counter = pos / 16;
+        self.idx = 16; // force a refill on the next draw
+        let off = (pos % 16) as usize;
+        if off != 0 {
+            self.refill(); // buffers block pos/16, bumps counter
+            self.idx = off;
+        }
+    }
 }
 
 macro_rules! chacha_rng {
@@ -105,6 +145,28 @@ macro_rules! chacha_rng {
             type Seed = [u8; 32];
             fn from_seed(seed: [u8; 32]) -> Self {
                 $name(ChaChaCore::from_seed_bytes(seed))
+            }
+        }
+
+        impl $name {
+            /// The 32-byte seed this generator was constructed from.
+            pub fn get_seed(&self) -> [u8; 32] {
+                self.0.seed_bytes()
+            }
+
+            /// Absolute keystream position in 32-bit words: the number of
+            /// words drawn since seeding. Together with [`Self::get_seed`]
+            /// this is the generator's complete state — snapshotting stores
+            /// `(seed, word_pos)` and resume replays neither.
+            pub fn get_word_pos(&self) -> u64 {
+                self.0.word_pos()
+            }
+
+            /// Repositions the stream to keystream word `pos` without
+            /// re-seeding; `rng.set_word_pos(rng.get_word_pos())` is a
+            /// no-op and a restored generator continues bit-identically.
+            pub fn set_word_pos(&mut self, pos: u64) {
+                self.0.set_word_pos(pos);
             }
         }
     };
@@ -153,6 +215,32 @@ mod tests {
         }
         let mut fork = rng.clone();
         assert_eq!(rng.next_u64(), fork.next_u64());
+    }
+
+    #[test]
+    fn word_pos_round_trips_at_every_offset() {
+        // positions 0..40 cross two block boundaries; a restored stream
+        // must continue word-for-word from where the original stands
+        for consumed in 0..40u64 {
+            let mut orig = ChaCha8Rng::seed_from_u64(0xABCD);
+            for _ in 0..consumed {
+                orig.next_u32();
+            }
+            assert_eq!(orig.get_word_pos(), consumed);
+            let mut restored = ChaCha8Rng::from_seed(orig.get_seed());
+            restored.set_word_pos(orig.get_word_pos());
+            assert_eq!(restored.get_word_pos(), consumed);
+            let a: Vec<u32> = (0..20).map(|_| orig.next_u32()).collect();
+            let b: Vec<u32> = (0..20).map(|_| restored.next_u32()).collect();
+            assert_eq!(a, b, "divergence after {consumed} consumed words");
+        }
+    }
+
+    #[test]
+    fn seed_bytes_invert_from_seed() {
+        let seed: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let rng = ChaCha12Rng::from_seed(seed);
+        assert_eq!(rng.get_seed(), seed);
     }
 
     #[test]
