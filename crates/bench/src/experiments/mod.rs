@@ -21,6 +21,7 @@ pub mod e18_scaling;
 pub mod e19_parallel;
 pub mod e20_chaos;
 pub mod e24_checkpoint;
+pub mod e25_scale;
 
 use crate::{Scale, Table};
 
@@ -51,5 +52,6 @@ pub fn all() -> Vec<(&'static str, Experiment)> {
         ("e19", e19_parallel::run),
         ("e20", e20_chaos::run),
         ("e24", e24_checkpoint::run),
+        ("e25", e25_scale::run),
     ]
 }

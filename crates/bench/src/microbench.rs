@@ -422,6 +422,32 @@ pub fn run_suite(quick: bool) -> Suite {
         |g| routing_legacy(g, rounds),
     ));
 
+    // the scale tier: the same two hot paths at n = 10⁶ on the huge-sparse
+    // generators, few rounds and few iterations — these rows exist to catch
+    // per-round neighbor-iteration regressions that only show once the
+    // working set falls out of cache, which the small-torus rows never do
+    let big_n = 1_000_000;
+    let big_rounds = if quick { 4 } else { 8 };
+    let big_iters = if quick { 3 } else { 5 };
+    let pl = gen::power_law(big_n, 2, &mut gen::seeded_rng(0xB1601));
+    results.push(engine_result(
+        "flood_n1e6",
+        &pl,
+        big_iters,
+        |g| flood_new(g, big_rounds),
+        |g| flood_legacy(g, big_rounds),
+    ));
+    drop(pl);
+    let ba = gen::bounded_arboricity(big_n, 3, &mut gen::seeded_rng(0xB1602));
+    results.push(engine_result(
+        "routing_n1e6",
+        &ba,
+        big_iters,
+        |g| routing_new(g, big_rounds),
+        |g| routing_legacy(g, big_rounds),
+    ));
+    drop(ba);
+
     // star elimination: round-free kernel (Lemma 3.1)
     let mut rng = gen::seeded_rng(0xE21);
     let planar = gen::random_planar(if quick { 2_000 } else { 20_000 }, 0.5, &mut rng);

@@ -66,7 +66,9 @@ use crate::executor::{audit, chunk_of, pool, ExecConfig};
 use crate::faults::{FaultPlan, FaultState, FaultVerdict};
 use crate::model::Model;
 use crate::msg::{Msg, INLINE_WORDS};
-use crate::snapshot::{self, Dec, Enc, SnapshotError, SnapshotReader, SnapshotWriter};
+use crate::snapshot::{
+    self, Dec, Enc, SnapshotError, SnapshotReader, SnapshotState, SnapshotWriter,
+};
 use crate::stats::RoundStats;
 
 /// A message. Historical alias of [`Msg`], which stores CONGEST-size
@@ -79,13 +81,16 @@ pub type Message = Msg;
 /// `Graph::neighbors(v)` (sorted by neighbor id).
 pub type Inbox = [Option<Msg>];
 
-/// One per-vertex/per-port buffer grid: `grid[v][p]` is the slot for the
-/// message crossing port `p` of vertex `v` this round.
-type Grid = Vec<Vec<Option<Msg>>>;
+/// One per-vertex/per-port buffer grid as a flat arena indexed by CSR
+/// edge slot: the message crossing port `p` of vertex `v` this round
+/// lives at slot `g.csr_offsets()[v] + p`. One contiguous allocation of
+/// `g.slots() = 2m` entries — delivery and compose iterate it linearly,
+/// row by row, instead of pointer-chasing `n` separate row vectors.
+type Grid = Vec<Option<Msg>>;
 
-/// A clean (all-`None`) grid shaped to `g`.
+/// A clean (all-`None`) flat grid shaped to `g`.
 fn fresh_grid(g: &Graph) -> Grid {
-    (0..g.n()).map(|v| vec![None; g.degree(v)]).collect()
+    vec![None; g.slots()]
 }
 
 /// Takes a clean grid out of the pool slot, falling back to a fresh
@@ -93,7 +98,7 @@ fn fresh_grid(g: &Graph) -> Grid {
 /// panic unwound mid-round and the grids were lost with it).
 fn take_grid(g: &Graph, slot: &mut Grid) -> Grid {
     let grid = std::mem::take(slot);
-    if grid.len() == g.n() {
+    if grid.len() == g.slots() {
         grid
     } else {
         fresh_grid(g)
@@ -105,14 +110,46 @@ fn take_grid(g: &Graph, slot: &mut Grid) -> Grid {
 /// (Delivery sweeps `take()` every slot already, so for outgoing grids
 /// the clear is a read-mostly no-op pass.)
 fn recycle_grid(slot: &mut Grid, mut grid: Grid) {
-    for ports in &mut grid {
-        for s in ports.iter_mut() {
-            if s.is_some() {
-                *s = None;
-            }
+    for s in grid.iter_mut() {
+        if s.is_some() {
+            *s = None;
         }
     }
     *slot = grid;
+}
+
+/// Borrow-splits a flat grid into per-chunk sub-slices: chunk `c` of the
+/// vertex partition owns the contiguous slot range
+/// `offsets[chunks[c].start]..offsets[chunks[c].end]`. Zero moves — the
+/// batch engines ship these fat pointers through the worker-pool lanes
+/// instead of moving row vectors.
+fn split_flat<'a>(
+    grid: &'a mut [Option<Msg>],
+    chunks: &[std::ops::Range<usize>],
+    offsets: &[u32],
+) -> Vec<&'a mut [Option<Msg>]> {
+    let mut parts = Vec::with_capacity(chunks.len());
+    let mut rest = grid;
+    for r in chunks {
+        let len = (offsets[r.end] - offsets[r.start]) as usize;
+        let (head, tail) = rest.split_at_mut(len);
+        parts.push(head);
+        rest = tail;
+    }
+    parts
+}
+
+/// The CSR topology slices every delivery sweep walks: row starts, flat
+/// neighbor/edge-id arrays (borrowed straight from the graph), and the
+/// per-slot reverse map (`rev_slot[s]` = the slot on the receiving side
+/// of slot `s`'s edge). Bundled so the borrow-split call sites pass one
+/// value instead of four slices.
+#[derive(Clone, Copy)]
+struct Topo<'a> {
+    offsets: &'a [u32],
+    neighbors: &'a [u32],
+    edge_ids: &'a [u32],
+    rev_slot: &'a [u32],
 }
 
 /// A synchronous CONGEST/LOCAL network over a graph.
@@ -160,7 +197,8 @@ pub struct Network<'g> {
     model: Model,
     exec: ExecConfig,
     stats: RoundStats,
-    /// `pending[v][p]`: message awaiting delivery to `v` on port `p`.
+    /// Flat pending arena: the slot `g.csr_offsets()[v] + p` holds the
+    /// message awaiting delivery to `v` on port `p`.
     pending: Grid,
     /// Pooled inbox grid: swapped with `pending` each round, cleared, and
     /// reused — the round engine allocates no buffers after construction.
@@ -169,18 +207,15 @@ pub struct Network<'g> {
     /// Pooled outgoing grid, reused the same way.
     // lcg-lint: transient -- all-None by the pool invariant; rebuilt fresh on resume, never serialized empty
     spare_outgoing: Grid,
-    /// `reverse[v][p] = (u, q)`: port `p` of `v` is port `q` of neighbor `u`.
+    /// `rev_slot[s]`: the receiving-side slot of slot `s`'s edge — the
+    /// flat-CSR form of the old `reverse[v][p] = (u, q)` port map (the
+    /// neighbor `u` itself is `g.csr_neighbors()[s]`).
     // lcg-lint: transient -- pure function of the graph, recomputed by the resume constructor
-    reverse: Vec<Vec<(usize, usize)>>,
+    rev_slot: Vec<u32>,
     /// Opt-in trace recorder ([`Network::attach_tracer`]). `None` (the
     /// default) keeps every hot-path hook a skipped branch — no recording,
     /// no allocation.
     tracer: Option<Tracer>,
-    /// `edge_of[v][p]`: host edge id behind port `p` of `v`. Built only
-    /// when an attached tracer records per-edge loads or a fault plan is
-    /// installed; empty otherwise.
-    // lcg-lint: transient -- pure function of the graph, rebuilt on demand by the resume path
-    edge_of: Vec<Vec<usize>>,
     /// Compiled fault schedule ([`Network::set_fault_plan`]). `None` (the
     /// default) keeps both delivery paths on their historical fault-free
     /// sweeps — zero cost, bit-identical behavior.
@@ -282,33 +317,21 @@ impl ChunkCounters {
     }
 }
 
-/// Splits a slice into per-chunk mutable sub-slices (chunk order).
-fn split_rows<'a, T>(rows: &'a mut [T], chunks: &[std::ops::Range<usize>]) -> Vec<&'a mut [T]> {
-    let mut parts = Vec::with_capacity(chunks.len());
-    let mut rest = rows;
-    for r in chunks {
-        let (head, tail) = rest.split_at_mut(r.len());
-        parts.push(head);
-        rest = tail;
-    }
-    parts
+/// The slot range of vertex `v`'s row, as plain indices.
+#[inline]
+fn row_of(offsets: &[u32], v: usize) -> std::ops::Range<usize> {
+    offsets[v] as usize..offsets[v + 1] as usize
 }
 
-/// Moves a grid's rows into per-chunk grids (row `Vec`s move, O(n) pointer
-/// shuffling, no message copies).
-fn chunk_grid(mut grid: Grid, chunks: &[std::ops::Range<usize>]) -> Vec<Grid> {
-    let mut rows = grid.drain(..);
-    chunks.iter().map(|r| rows.by_ref().take(r.len()).collect()).collect()
-}
-
-/// Reassembles per-chunk grids into one grid, in chunk order (the inverse
-/// of [`chunk_grid`]).
-fn unchunk_grid(parts: Vec<Grid>) -> Grid {
-    let mut grid: Grid = Vec::with_capacity(parts.iter().map(Vec::len).sum());
-    for part in parts {
-        grid.extend(part);
-    }
-    grid
+/// Pins a worker closure to a single `Job` type, so the borrowed-slice
+/// jobs' lifetimes unify between argument and return position (closure
+/// region inference otherwise invents two unrelated lifetimes and rejects
+/// returning the job it was handed).
+fn pin_worker<St, Job, W>(w: W) -> W
+where
+    W: Fn(usize, std::ops::Range<usize>, &mut [St], Job) -> Job,
+{
+    w
 }
 
 /// Runs the send closure over every vertex, chunked across the configured
@@ -317,14 +340,18 @@ fn unchunk_grid(parts: Vec<Grid>) -> Grid {
 ///
 /// Single-round paths go through a one-round batch on the worker pool;
 /// multi-round paths (`run_state`, `exchange_rounds`) keep the pool alive
-/// across rounds instead of re-entering here.
+/// across rounds instead of re-entering here. Grids are flat arenas: each
+/// job carries its chunk's contiguous sub-slice of the outgoing arena, so
+/// dispatch/collect move fat pointers, never rows.
+#[allow(clippy::too_many_arguments)] // borrow-split pieces of one Network
 fn compose_outboxes<S, F>(
     exec: &ExecConfig,
     round: u64,
     cap: Option<usize>,
+    offsets: &[u32],
     states: &mut [S],
-    inboxes: &[Vec<Option<Message>>],
-    outgoing: &mut [Vec<Option<Message>>],
+    inboxes: &[Option<Message>],
+    outgoing: &mut [Option<Message>],
     f: &F,
 ) -> ChunkCounters
 where
@@ -334,41 +361,39 @@ where
     let n = states.len();
     let Some(chunks) = exec.par_chunks(n) else {
         let mut counters = ChunkCounters::default();
-        for (v, (state, slots)) in states.iter_mut().zip(outgoing.iter_mut()).enumerate() {
-            let mut out = Outbox { slots, capacity: cap, vertex: v };
-            f(state, v, &inboxes[v], &mut out);
+        for (v, state) in states.iter_mut().enumerate() {
+            let slots = &mut outgoing[row_of(offsets, v)];
+            let mut out = Outbox { slots: &mut *slots, capacity: cap, vertex: v };
+            f(state, v, &inboxes[row_of(offsets, v)], &mut out);
             counters.count(slots);
         }
         return counters;
     };
-    // one-round batch: each job moves the chunk's outbox rows (owned row
-    // vectors — O(chunk) pointer moves, no message copies) to a worker
-    // and back, with a chunk-local counter riding along
-    let mut out_parts = split_rows(outgoing, &chunks);
-    let worker = |_w: usize,
+    let mut out_parts = split_flat(outgoing, &chunks, offsets);
+    let worker = pin_worker(|_w: usize,
                   range: std::ops::Range<usize>,
                   states: &mut [S],
-                  (mut rows, mut counters): (Vec<Vec<Option<Message>>>, ChunkCounters)| {
-        for (i, (state, slots)) in states.iter_mut().zip(rows.iter_mut()).enumerate() {
+                  (part, mut counters): (&mut [Option<Message>], ChunkCounters)| {
+        let base = offsets[range.start] as usize;
+        for (i, state) in states.iter_mut().enumerate() {
             let v = range.start + i;
-            let mut out = Outbox { slots, capacity: cap, vertex: v };
-            f(state, v, &inboxes[v], &mut out);
+            let row = row_of(offsets, v);
+            let slots = &mut part[row.start - base..row.end - base];
+            let mut out = Outbox { slots: &mut *slots, capacity: cap, vertex: v };
+            f(state, v, &inboxes[row], &mut out);
             counters.count(slots);
         }
-        (rows, counters)
-    };
+        (part, counters)
+    });
     pool::run_batch(&chunks, states, &worker, |pool| {
         for (i, part) in out_parts.iter_mut().enumerate() {
-            let rows: Vec<Vec<Option<Message>>> = part.iter_mut().map(std::mem::take).collect();
-            pool.dispatch(i, (rows, ChunkCounters::default()));
+            pool.dispatch(i, (std::mem::take(part), ChunkCounters::default()));
         }
         let mut total = ChunkCounters::default();
         let mut audit_parts = exec.audit().is_shuffle().then(Vec::new);
         for (i, part) in out_parts.iter_mut().enumerate() {
-            let (rows, counters) = pool.collect(i);
-            for (slot, row) in part.iter_mut().zip(rows) {
-                *slot = row;
-            }
+            let (slice, counters) = pool.collect(i);
+            *part = slice;
             total.merge(&counters);
             if let Some(parts) = audit_parts.as_mut() {
                 parts.push(counters);
@@ -389,22 +414,27 @@ where
 }
 
 /// Runs a receive closure over every vertex, chunked across threads.
-fn consume_inboxes<S, R>(exec: &ExecConfig, states: &mut [S], inboxes: &[Vec<Option<Message>>], r: &R)
-where
+fn consume_inboxes<S, R>(
+    exec: &ExecConfig,
+    offsets: &[u32],
+    states: &mut [S],
+    inboxes: &[Option<Message>],
+    r: &R,
+) where
     S: Send,
     R: Fn(&mut S, usize, &Inbox) + Sync,
 {
     let n = states.len();
     let Some(chunks) = exec.par_chunks(n) else {
         for (v, state) in states.iter_mut().enumerate() {
-            r(state, v, &inboxes[v]);
+            r(state, v, &inboxes[row_of(offsets, v)]);
         }
         return;
     };
     let worker = |_w: usize, range: std::ops::Range<usize>, states: &mut [S], job: ()| {
         for (i, state) in states.iter_mut().enumerate() {
             let v = range.start + i;
-            r(state, v, &inboxes[v]);
+            r(state, v, &inboxes[row_of(offsets, v)]);
         }
         job
     };
@@ -422,59 +452,65 @@ where
 /// is adjudicated by the compiled schedule — destroyed messages are
 /// tallied (by cause) instead of delivered, surviving messages are
 /// truncated to the plan's capacity cap when one is set. Shared by every
-/// delivery path via [`sweep`]: `rows` yields `(vertex, outbox_row)` in
-/// ascending vertex order, `put(u, q, msg)` stores a delivered message at
-/// the receiver's `(vertex, port)`. Tracer edge loads count *delivered*
+/// delivery path via [`sweep`]: `chunks`/`sources` are the ascending
+/// contiguous vertex partition with each chunk's flat arena sub-slice,
+/// `put(u, dest_slot, msg)` stores a delivered message at the receiver's
+/// absolute CSR slot. Tracer edge loads count *delivered*
 /// words, so traces show the traffic that actually arrived; the
 /// compose-barrier statistics still count everything *sent*, preserving
 /// their meaning.
 #[allow(clippy::too_many_arguments)] // borrow-split pieces of one Network
-fn faulty_sweep<'r, I, P>(
+fn faulty_sweep<P>(
     round: u64,
     fs: &FaultState,
-    reverse: &[Vec<(usize, usize)>],
-    edge_of: &[Vec<usize>],
+    topo: Topo<'_>,
     tracer: &mut Option<Tracer>,
     stats: &mut RoundStats,
-    rows: I,
+    chunks: &[std::ops::Range<usize>],
+    sources: &mut [&mut [Option<Msg>]],
     mut put: P,
 ) where
-    I: Iterator<Item = (usize, &'r mut Vec<Option<Msg>>)>,
     P: FnMut(usize, usize, Msg),
 {
     let cap = fs.truncate_words();
     let (mut dropped, mut link, mut crashed, mut truncated) = (0u64, 0u64, 0u64, 0u64);
     {
         let mut track = tracer.as_mut().filter(|t| t.records_edge_loads());
-        for (v, out_v) in rows {
-            for (p, slot) in out_v.iter_mut().enumerate() {
-                if let Some(mut msg) = slot.take() {
-                    let (u, q) = reverse[v][p];
-                    match fs.classify(round, edge_of[v][p], v, u) {
-                        FaultVerdict::Crashed => {
-                            crashed += 1;
-                            continue;
+        for (ci, r) in chunks.iter().enumerate() {
+            let part = &mut *sources[ci];
+            let base = topo.offsets[r.start] as usize;
+            for v in r.clone() {
+                let row = row_of(topo.offsets, v);
+                for (s, slot) in row.clone().zip(&mut part[row.start - base..row.end - base]) {
+                    if let Some(mut msg) = slot.take() {
+                        let u = topo.neighbors[s] as usize;
+                        let e = topo.edge_ids[s] as usize;
+                        match fs.classify(round, e, v, u) {
+                            FaultVerdict::Crashed => {
+                                crashed += 1;
+                                continue;
+                            }
+                            FaultVerdict::LinkDown => {
+                                link += 1;
+                                continue;
+                            }
+                            FaultVerdict::Dropped => {
+                                dropped += 1;
+                                continue;
+                            }
+                            FaultVerdict::Deliver => {}
                         }
-                        FaultVerdict::LinkDown => {
-                            link += 1;
-                            continue;
+                        if let Some(cap) = cap {
+                            if msg.len() > cap {
+                                msg.truncate(cap);
+                                truncated += 1;
+                            }
                         }
-                        FaultVerdict::Dropped => {
-                            dropped += 1;
-                            continue;
+                        if let Some(t) = track.as_mut() {
+                            t.add_edge_words(e, msg.len() as u64);
                         }
-                        FaultVerdict::Deliver => {}
+                        put(u, topo.rev_slot[s] as usize, msg);
                     }
-                    if let Some(cap) = cap {
-                        if msg.len() > cap {
-                            msg.truncate(cap);
-                            truncated += 1;
-                        }
-                    }
-                    if let Some(t) = track.as_mut() {
-                        t.add_edge_words(edge_of[v][p], msg.len() as u64);
-                    }
-                    put(u, q, msg);
                 }
             }
         }
@@ -493,38 +529,46 @@ fn faulty_sweep<'r, I, P>(
     }
 }
 
-/// The fault-free delivery sweep over `rows` (same contract as
+/// The fault-free delivery sweep over the source chunks (same contract as
 /// [`faulty_sweep`] minus adjudication): pure moves, plus per-edge load
-/// tallies when a tracer asked for them.
-fn sweep_rows<'r, I, P>(
-    rows: I,
-    reverse: &[Vec<(usize, usize)>],
-    edge_of: &[Vec<usize>],
+/// tallies when a tracer asked for them. The common case — no tracer —
+/// walks each chunk's flat sub-slice linearly, row by row.
+fn sweep_rows<P>(
+    topo: Topo<'_>,
     tracer: &mut Option<Tracer>,
+    chunks: &[std::ops::Range<usize>],
+    sources: &mut [&mut [Option<Msg>]],
     mut put: P,
 ) where
-    I: Iterator<Item = (usize, &'r mut Vec<Option<Msg>>)>,
     P: FnMut(usize, usize, Msg),
 {
     let mut track = tracer.as_mut().filter(|t| t.records_edge_loads());
-    for (v, out_v) in rows {
-        for (p, slot) in out_v.iter_mut().enumerate() {
+    for (ci, r) in chunks.iter().enumerate() {
+        let part = &mut *sources[ci];
+        let base = topo.offsets[r.start] as usize;
+        // one pass over the chunk's contiguous slot range: slot `s` is
+        // absolute, `s - base` indexes the chunk sub-slice; sender order
+        // equals slot order, so the sweep stays a vertex-order sweep
+        let lo = base;
+        let hi = topo.offsets[r.end] as usize;
+        for (s, slot) in (lo..hi).zip(part.iter_mut()) {
             if let Some(msg) = slot.take() {
                 if let Some(t) = track.as_mut() {
-                    t.add_edge_words(edge_of[v][p], msg.len() as u64);
+                    t.add_edge_words(topo.edge_ids[s] as usize, msg.len() as u64);
                 }
-                let (u, q) = reverse[v][p];
-                put(u, q, msg);
+                put(topo.neighbors[s] as usize, topo.rev_slot[s] as usize, msg);
             }
         }
+        debug_assert_eq!(part.len(), hi - lo, "chunk sub-slice shape mismatch");
     }
 }
 
 /// Delivery-sweep dispatcher: fault-adjudicated when a plan is installed,
-/// plain moves otherwise. `rows` must yield outbox rows in ascending
-/// vertex order — that ordering is the entire determinism argument, and it
-/// holds equally for a whole-grid iteration and for a chunk-major
-/// iteration over contiguous ascending chunks.
+/// plain moves otherwise. `chunks`/`sources` must cover the vertices in
+/// ascending contiguous order — that ordering is the entire determinism
+/// argument, and it holds equally for a single whole-arena chunk and for
+/// the batch engine's multi-chunk partition. `put(u, dest_slot, msg)`
+/// stores a delivered message at the receiver's absolute CSR slot.
 ///
 /// With a metrics recorder attached the sweep additionally counts
 /// *delivered* messages (and mirrors the fault tallies) into the
@@ -532,24 +576,23 @@ fn sweep_rows<'r, I, P>(
 /// sweep, so the registry inherits the sweep's determinism argument. With
 /// `metrics` `None` the historical code paths run untouched.
 #[allow(clippy::too_many_arguments)] // borrow-split pieces of one Network
-fn sweep<'r, I, P>(
+fn sweep<P>(
     round: u64,
     faults: Option<&FaultState>,
-    reverse: &[Vec<(usize, usize)>],
-    edge_of: &[Vec<usize>],
+    topo: Topo<'_>,
     tracer: &mut Option<Tracer>,
     stats: &mut RoundStats,
     metrics: &mut Option<Recorder>,
-    rows: I,
+    chunks: &[std::ops::Range<usize>],
+    sources: &mut [&mut [Option<Msg>]],
     mut put: P,
 ) where
-    I: Iterator<Item = (usize, &'r mut Vec<Option<Msg>>)>,
     P: FnMut(usize, usize, Msg),
 {
     let Some(rec) = metrics.as_mut() else {
         match faults {
-            Some(fs) => faulty_sweep(round, fs, reverse, edge_of, tracer, stats, rows, put),
-            None => sweep_rows(rows, reverse, edge_of, tracer, put),
+            Some(fs) => faulty_sweep(round, fs, topo, tracer, stats, chunks, sources, put),
+            None => sweep_rows(topo, tracer, chunks, sources, put),
         }
         return;
     };
@@ -561,8 +604,8 @@ fn sweep<'r, I, P>(
         put(u, q, msg);
     };
     match faults {
-        Some(fs) => faulty_sweep(round, fs, reverse, edge_of, tracer, stats, rows, counted_put),
-        None => sweep_rows(rows, reverse, edge_of, tracer, counted_put),
+        Some(fs) => faulty_sweep(round, fs, topo, tracer, stats, chunks, sources, counted_put),
+        None => sweep_rows(topo, tracer, chunks, sources, counted_put),
     }
     rec.counter_add("net.delivered_messages", delivered);
     for (name, before, after) in [
@@ -578,34 +621,33 @@ fn sweep<'r, I, P>(
 }
 
 /// Chunk-major delivery sweep for the batch engine: `sources` are the
-/// per-chunk outbox arenas, `targets` the per-chunk destination grids of
-/// the same partition. Iterating the sources chunk-major *is* ascending
-/// vertex order (chunks are contiguous and ascending), and the receiving
-/// chunk is located in O(1) by [`chunk_of`] — so this is bit-identical to
-/// the whole-grid sweep the one-shot paths run.
+/// per-chunk sub-slices of the outbox arena, `targets` those of the
+/// destination arena, under the same partition. Iterating the sources
+/// chunk-major *is* ascending vertex order (chunks are contiguous and
+/// ascending), and the receiving chunk is located in O(1) by
+/// [`chunk_of`] — so this is bit-identical to the whole-grid sweep the
+/// one-shot paths run.
 #[allow(clippy::too_many_arguments)] // borrow-split pieces of one Network
 fn deliver_chunked(
     round: u64,
     n: usize,
     chunks: &[std::ops::Range<usize>],
-    sources: &mut [Grid],
-    targets: &mut [Grid],
+    sources: &mut [&mut [Option<Msg>]],
+    targets: &mut [&mut [Option<Msg>]],
     faults: Option<&FaultState>,
-    reverse: &[Vec<(usize, usize)>],
-    edge_of: &[Vec<usize>],
+    topo: Topo<'_>,
     tracer: &mut Option<Tracer>,
     stats: &mut RoundStats,
     metrics: &mut Option<Recorder>,
 ) {
     let k = chunks.len();
-    let rows = sources.iter_mut().zip(chunks).flat_map(|(part, r)| {
-        part.iter_mut().enumerate().map(move |(i, row)| (r.start + i, row))
-    });
-    let put = |u: usize, q: usize, msg: Msg| {
-        let (c, off) = chunk_of(n, k, u);
-        targets[c][off][q] = Some(msg);
+    let offsets = topo.offsets;
+    let put = |u: usize, dest: usize, msg: Msg| {
+        let (c, _) = chunk_of(n, k, u);
+        let base = offsets[chunks[c].start] as usize;
+        targets[c][dest - base] = Some(msg);
     };
-    sweep(round, faults, reverse, edge_of, tracer, stats, metrics, rows, put);
+    sweep(round, faults, topo, tracer, stats, metrics, chunks, sources, put);
 }
 
 /// Folds one round's compose counters into the running statistics, the
@@ -638,25 +680,27 @@ fn account_round(
 
 /// One round's worth of buffers for one chunk, moved leader → worker →
 /// leader through the batch engine's rendezvous lanes (`run_state` path).
-struct StepJob {
-    /// The chunk's inbox rows: read by the step closure, then cleared by
+/// The buffers are borrowed sub-slices of the two flat arenas — each
+/// dispatch/collect ships two fat pointers and a counter, nothing else.
+struct StepJob<'a> {
+    /// The chunk's inbox slots: read by the step closure, then cleared by
     /// the worker so the leader can deliver the new round's messages into
     /// them — the worker-side clear is what keeps the round barrier free
     /// of a separate recycle pass.
-    inbox: Grid,
-    /// The chunk's outbox arena rows, filled by the step closure.
-    arena: Grid,
+    inbox: &'a mut [Option<Msg>],
+    /// The chunk's outbox arena slots, filled by the step closure.
+    arena: &'a mut [Option<Msg>],
     /// Chunk-local message counters.
     counters: ChunkCounters,
 }
 
 /// One phase's buffers for one chunk on the `exchange_rounds` path.
-enum XchgJob {
+enum XchgJob<'a> {
     /// Compose phase: run `send` over the chunk, fill the arena, count.
-    Send { round: usize, arena: Grid, counters: ChunkCounters },
-    /// Consume phase: run `recv` over the delivered inbox rows, clear
+    Send { round: usize, arena: &'a mut [Option<Msg>], counters: ChunkCounters },
+    /// Consume phase: run `recv` over the delivered inbox slots, clear
     /// them, and report whether every vertex of the chunk has halted.
-    Recv { round: usize, inbox: Grid, all_halted: bool },
+    Recv { round: usize, inbox: &'a mut [Option<Msg>], all_halted: bool },
 }
 
 impl<'g> Network<'g> {
@@ -678,15 +722,19 @@ impl<'g> Network<'g> {
     /// assert_eq!(net.exec().threads(), 2);
     /// ```
     pub fn with_exec(g: &'g Graph, model: Model, exec: ExecConfig) -> Network<'g> {
-        let mut reverse = vec![Vec::new(); g.n()];
-        for (v, rev) in reverse.iter_mut().enumerate() {
-            for (u, _) in g.neighbors(v) {
-                // find v's position in u's sorted adjacency
-                let q = g
-                    .neighbors(u)
-                    .position(|(w, _)| w == v)
-                    .expect("adjacency must be symmetric");
-                rev.push((u, q));
+        // pair up the two CSR slots of every edge in one O(m) pass: the
+        // first slot seen for edge e waits in `first`, the second closes
+        // the pair in both directions
+        let edge_ids = g.csr_edge_ids();
+        let mut first = vec![u32::MAX; g.m()];
+        let mut rev_slot = vec![0u32; g.slots()];
+        for (s, &e) in edge_ids.iter().enumerate() {
+            let other = &mut first[e as usize];
+            if *other == u32::MAX {
+                *other = s as u32;
+            } else {
+                rev_slot[s] = *other;
+                rev_slot[*other as usize] = s as u32;
             }
         }
         Network {
@@ -697,13 +745,13 @@ impl<'g> Network<'g> {
             pending: fresh_grid(g),
             spare_inboxes: fresh_grid(g),
             spare_outgoing: fresh_grid(g),
-            reverse,
+            rev_slot,
             tracer: None,
-            edge_of: Vec::new(),
             faults: None,
             metrics: None,
         }
     }
+
 
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
@@ -760,11 +808,8 @@ impl<'g> Network<'g> {
     pub fn attach_tracer(&mut self, mut tracer: Tracer) {
         let ends: Vec<(usize, usize)> = self.g.edges().map(|(_, u, v)| (u, v)).collect();
         tracer.bind_topology(self.g.n(), self.g.m(), ends);
-        if tracer.records_edge_loads() && self.edge_of.is_empty() {
-            self.edge_of = (0..self.g.n())
-                .map(|v| self.g.neighbors(v).map(|(_, e)| e).collect())
-                .collect();
-        }
+        // per-edge load tallies read the graph's flat `edge_ids` array
+        // directly — no per-port side table to build
         self.tracer = Some(tracer);
     }
 
@@ -808,14 +853,7 @@ impl<'g> Network<'g> {
     /// assert_eq!(net.stats().messages, 1); // sending is still charged
     /// ```
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
-        self.faults = plan.map(|p| {
-            if self.edge_of.is_empty() {
-                self.edge_of = (0..self.g.n())
-                    .map(|v| self.g.neighbors(v).map(|(_, e)| e).collect())
-                    .collect();
-            }
-            FaultState::compile(p, self.g.n(), self.g.m())
-        });
+        self.faults = plan.map(|p| FaultState::compile(p, self.g.n(), self.g.m()));
     }
 
     /// The installed fault plan, if any.
@@ -889,21 +927,33 @@ impl<'g> Network<'g> {
     /// delivery always runs on the caller's thread in vertex order, and the
     /// drop coins are keyed by `(round, edge)` rather than drawn from any
     /// shared stream.
-    fn deliver(&mut self, outgoing: &mut [Vec<Option<Message>>]) {
+    fn deliver(&mut self, outgoing: &mut [Option<Message>]) {
         // `deliver` runs before `account` increments the round counter, so
         // `stats.rounds` is the 0-based index of the round being delivered.
         let round = self.stats.rounds;
-        let Network { pending, reverse, tracer, edge_of, faults, stats, metrics, .. } = self;
+        let g = self.g;
+        let Network { pending, rev_slot, tracer, faults, stats, metrics, .. } = self;
+        let topo = Topo {
+            offsets: g.csr_offsets(),
+            neighbors: g.csr_neighbors(),
+            edge_ids: g.csr_edge_ids(),
+            rev_slot,
+        };
+        // one whole-arena chunk: the sweep contract wants an ascending
+        // contiguous partition, and `[0..n]` is the trivial one
+        #[allow(clippy::single_range_in_vec_init)] // a 1-chunk partition, not a range literal
+        let chunks = [0..g.n()];
+        let mut sources = [&mut *outgoing];
         sweep(
             round,
             faults.as_ref(),
-            reverse,
-            edge_of,
+            topo,
             tracer,
             stats,
             metrics,
-            outgoing.iter_mut().enumerate(),
-            |u, q, msg| pending[u][q] = Some(msg),
+            &chunks,
+            &mut sources,
+            |_u, dest, msg| pending[dest] = Some(msg),
         );
     }
 
@@ -928,13 +978,16 @@ impl<'g> Network<'g> {
         F: FnMut(usize, &Inbox, &mut Outbox),
     {
         let cap = self.model.capacity();
+        let offsets = self.g.csr_offsets();
         let fresh = take_grid(self.g, &mut self.spare_inboxes);
         let inboxes = std::mem::replace(&mut self.pending, fresh);
         let mut outgoing = take_grid(self.g, &mut self.spare_outgoing);
         let mut counters = ChunkCounters::default();
-        for (v, (inbox, slots)) in inboxes.iter().zip(outgoing.iter_mut()).enumerate() {
-            let mut out = Outbox { slots, capacity: cap, vertex: v };
-            f(v, inbox, &mut out);
+        for v in 0..self.g.n() {
+            let row = row_of(offsets, v);
+            let slots = &mut outgoing[row.clone()];
+            let mut out = Outbox { slots: &mut *slots, capacity: cap, vertex: v };
+            f(v, &inboxes[row], &mut out);
             counters.count(slots);
         }
         self.deliver(&mut outgoing);
@@ -968,8 +1021,16 @@ impl<'g> Network<'g> {
         let fresh = take_grid(self.g, &mut self.spare_inboxes);
         let inboxes = std::mem::replace(&mut self.pending, fresh);
         let mut outgoing = take_grid(self.g, &mut self.spare_outgoing);
-        let counters =
-            compose_outboxes(&self.exec, self.stats.rounds, cap, states, &inboxes, &mut outgoing, &f);
+        let counters = compose_outboxes(
+            &self.exec,
+            self.stats.rounds,
+            cap,
+            self.g.csr_offsets(),
+            states,
+            &inboxes,
+            &mut outgoing,
+            &f,
+        );
         self.deliver(&mut outgoing);
         self.account(counters);
         recycle_grid(&mut self.spare_inboxes, inboxes);
@@ -1070,22 +1131,30 @@ impl<'g> Network<'g> {
         let cap = self.model.capacity();
         let g = self.g;
         let n = g.n();
+        let offsets = g.csr_offsets();
         let placeholder = take_grid(g, &mut self.spare_inboxes);
-        let inflight = std::mem::replace(&mut self.pending, placeholder);
-        let arena = take_grid(g, &mut self.spare_outgoing);
-        let mut pending_parts = chunk_grid(inflight, chunks);
-        let mut arena_parts = chunk_grid(arena, chunks);
+        let mut inflight = std::mem::replace(&mut self.pending, placeholder);
+        let mut arena = take_grid(g, &mut self.spare_outgoing);
+        let mut pending_parts = split_flat(&mut inflight, chunks, offsets);
+        let mut arena_parts = split_flat(&mut arena, chunks, offsets);
         let audit_on = self.exec.audit().is_shuffle();
-        let Network { stats, tracer, reverse, edge_of, faults, metrics, .. } = &mut *self;
-        let worker = |_w: usize, range: std::ops::Range<usize>, states: &mut [S], mut job: StepJob| {
+        let Network { stats, tracer, rev_slot, faults, metrics, .. } = &mut *self;
+        let topo = Topo {
+            offsets,
+            neighbors: g.csr_neighbors(),
+            edge_ids: g.csr_edge_ids(),
+            rev_slot,
+        };
+        let worker = pin_worker(|_w: usize, range: std::ops::Range<usize>, states: &mut [S], mut job: StepJob| {
             let mut counters = ChunkCounters::default();
-            for (i, (state, (inbox, slots))) in states
-                .iter_mut()
-                .zip(job.inbox.iter_mut().zip(job.arena.iter_mut()))
-                .enumerate()
-            {
+            let base = offsets[range.start] as usize;
+            for (i, state) in states.iter_mut().enumerate() {
                 let v = range.start + i;
-                let mut out = Outbox { slots, capacity: cap, vertex: v };
+                let row = row_of(offsets, v);
+                let local = row.start - base..row.end - base;
+                let inbox = &mut job.inbox[local.clone()];
+                let slots = &mut job.arena[local];
+                let mut out = Outbox { slots: &mut *slots, capacity: cap, vertex: v };
                 f(state, v, inbox, &mut out);
                 // consumed: clear the row so it can serve as this round's
                 // delivery target (same all-`None` state a recycle gives)
@@ -1098,7 +1167,7 @@ impl<'g> Network<'g> {
             }
             job.counters = counters;
             job
-        };
+        });
         pool::run_batch(chunks, states, &worker, |pool| {
             for _ in 0..rounds {
                 for (i, (inbox, arena)) in
@@ -1144,8 +1213,7 @@ impl<'g> Network<'g> {
                     &mut arena_parts,
                     &mut pending_parts,
                     faults.as_ref(),
-                    reverse,
-                    edge_of,
+                    topo,
                     tracer,
                     stats,
                     metrics,
@@ -1153,11 +1221,14 @@ impl<'g> Network<'g> {
                 account_round(stats, tracer, metrics, total);
             }
         });
-        // batch done: the reassembled inbox parts are the live `pending`
-        // grid; the placeholder and the arena go back to the pool
-        let placeholder = std::mem::replace(&mut self.pending, unchunk_grid(pending_parts));
+        // batch done: the borrow-split sub-slices wrote through to the two
+        // arenas, so `inflight` is the live `pending` grid; the placeholder
+        // and the outbox arena go back to the pool
+        drop(pending_parts);
+        drop(arena_parts);
+        let placeholder = std::mem::replace(&mut self.pending, inflight);
         recycle_grid(&mut self.spare_inboxes, placeholder);
-        recycle_grid(&mut self.spare_outgoing, unchunk_grid(arena_parts));
+        recycle_grid(&mut self.spare_outgoing, arena);
     }
 
     /// Executes one synchronous round with the *standard* round structure:
@@ -1177,22 +1248,24 @@ impl<'g> Network<'g> {
         R: FnMut(usize, &Inbox),
     {
         debug_assert!(
-            self.pending.iter().all(|ps| ps.iter().all(Option::is_none)),
+            self.pending.iter().all(Option::is_none),
             "exchange called with undelivered step() messages pending"
         );
         let cap = self.model.capacity();
+        let offsets = self.g.csr_offsets();
         let mut outgoing = take_grid(self.g, &mut self.spare_outgoing);
         let mut counters = ChunkCounters::default();
-        for (v, slots) in outgoing.iter_mut().enumerate() {
-            let mut out = Outbox { slots, capacity: cap, vertex: v };
+        for v in 0..self.g.n() {
+            let slots = &mut outgoing[row_of(offsets, v)];
+            let mut out = Outbox { slots: &mut *slots, capacity: cap, vertex: v };
             send(v, &mut out);
             counters.count(slots);
         }
         let mut inboxes = take_grid(self.g, &mut self.spare_inboxes);
         self.route_exchange(&mut outgoing, &mut inboxes);
         self.account(counters);
-        for (v, inbox) in inboxes.iter().enumerate() {
-            recv(v, inbox);
+        for v in 0..self.g.n() {
+            recv(v, &inboxes[row_of(self.g.csr_offsets(), v)]);
         }
         recycle_grid(&mut self.spare_inboxes, inboxes);
         recycle_grid(&mut self.spare_outgoing, outgoing);
@@ -1215,7 +1288,7 @@ impl<'g> Network<'g> {
     {
         assert_eq!(states.len(), self.g.n(), "one state per vertex");
         debug_assert!(
-            self.pending.iter().all(|ps| ps.iter().all(Option::is_none)),
+            self.pending.iter().all(Option::is_none),
             "exchange_state called with undelivered step() messages pending"
         );
         let cap = self.model.capacity();
@@ -1227,6 +1300,7 @@ impl<'g> Network<'g> {
             &self.exec,
             self.stats.rounds,
             cap,
+            self.g.csr_offsets(),
             states,
             &self.pending,
             &mut outgoing,
@@ -1235,7 +1309,7 @@ impl<'g> Network<'g> {
         let mut inboxes = take_grid(self.g, &mut self.spare_inboxes);
         self.route_exchange(&mut outgoing, &mut inboxes);
         self.account(counters);
-        consume_inboxes(&self.exec, states, &inboxes, &recv);
+        consume_inboxes(&self.exec, self.g.csr_offsets(), states, &inboxes, &recv);
         recycle_grid(&mut self.spare_inboxes, inboxes);
         recycle_grid(&mut self.spare_outgoing, outgoing);
     }
@@ -1315,37 +1389,49 @@ impl<'g> Network<'g> {
         H: Fn(&St) -> bool + Sync,
     {
         debug_assert!(
-            self.pending.iter().all(|ps| ps.iter().all(Option::is_none)),
+            self.pending.iter().all(Option::is_none),
             "exchange_rounds called with undelivered step() messages pending"
         );
         let cap = self.model.capacity();
         let g = self.g;
         let n = g.n();
-        let arena = take_grid(g, &mut self.spare_outgoing);
-        let inboxes = take_grid(g, &mut self.spare_inboxes);
-        let mut arena_parts = chunk_grid(arena, chunks);
-        let mut inbox_parts = chunk_grid(inboxes, chunks);
+        let offsets = g.csr_offsets();
+        let mut arena = take_grid(g, &mut self.spare_outgoing);
+        let mut inboxes = take_grid(g, &mut self.spare_inboxes);
+        let mut arena_parts = split_flat(&mut arena, chunks, offsets);
+        let mut inbox_parts = split_flat(&mut inboxes, chunks, offsets);
         let mut all_halted = states.iter().all(halted);
         let audit_on = self.exec.audit().is_shuffle();
-        let Network { stats, tracer, reverse, edge_of, faults, metrics, .. } = &mut *self;
-        let worker = |_w: usize, range: std::ops::Range<usize>, states: &mut [St], job: XchgJob| {
+        let Network { stats, tracer, rev_slot, faults, metrics, .. } = &mut *self;
+        let topo = Topo {
+            offsets,
+            neighbors: g.csr_neighbors(),
+            edge_ids: g.csr_edge_ids(),
+            rev_slot,
+        };
+        let worker = pin_worker(|_w: usize, range: std::ops::Range<usize>, states: &mut [St], job: XchgJob| {
+            let base = offsets[range.start] as usize;
             match job {
-                XchgJob::Send { round, mut arena, .. } => {
+                XchgJob::Send { round, arena, .. } => {
                     let mut counters = ChunkCounters::default();
-                    for (i, (state, slots)) in states.iter_mut().zip(arena.iter_mut()).enumerate() {
+                    for (i, state) in states.iter_mut().enumerate() {
                         let v = range.start + i;
-                        let mut out = Outbox { slots, capacity: cap, vertex: v };
+                        let row = row_of(offsets, v);
+                        let slots = &mut arena[row.start - base..row.end - base];
+                        let mut out = Outbox { slots: &mut *slots, capacity: cap, vertex: v };
                         send(state, round, v, &mut out);
                         counters.count(slots);
                     }
                     XchgJob::Send { round, arena, counters }
                 }
-                XchgJob::Recv { round, mut inbox, .. } => {
-                    for (i, (state, row)) in states.iter_mut().zip(inbox.iter_mut()).enumerate() {
+                XchgJob::Recv { round, inbox, .. } => {
+                    for (i, state) in states.iter_mut().enumerate() {
                         let v = range.start + i;
-                        recv(state, round, v, row);
+                        let row = row_of(offsets, v);
+                        let inbox_row = &mut inbox[row.start - base..row.end - base];
+                        recv(state, round, v, inbox_row);
                         // consumed: clear for the next round's delivery
-                        for s in row.iter_mut() {
+                        for s in inbox_row.iter_mut() {
                             if s.is_some() {
                                 *s = None;
                             }
@@ -1355,7 +1441,7 @@ impl<'g> Network<'g> {
                     XchgJob::Recv { round, inbox, all_halted }
                 }
             }
-        };
+        });
         let executed = pool::run_batch(chunks, states, &worker, |pool| {
             let mut executed = 0u64;
             for round in 0..max_rounds {
@@ -1407,8 +1493,7 @@ impl<'g> Network<'g> {
                     &mut arena_parts,
                     &mut inbox_parts,
                     faults.as_ref(),
-                    reverse,
-                    edge_of,
+                    topo,
                     tracer,
                     stats,
                     metrics,
@@ -1437,8 +1522,10 @@ impl<'g> Network<'g> {
             }
             executed
         });
-        recycle_grid(&mut self.spare_outgoing, unchunk_grid(arena_parts));
-        recycle_grid(&mut self.spare_inboxes, unchunk_grid(inbox_parts));
+        drop(arena_parts);
+        drop(inbox_parts);
+        recycle_grid(&mut self.spare_outgoing, arena);
+        recycle_grid(&mut self.spare_inboxes, inboxes);
         executed
     }
 
@@ -1446,21 +1533,31 @@ impl<'g> Network<'g> {
     /// pure moves, no counting — except per-edge load tallies when a
     /// tracer asked for them, and fault adjudication when a plan is
     /// installed). `inboxes` must be a clean grid (pooled or fresh).
-    fn route_exchange(&mut self, outgoing: &mut [Vec<Option<Msg>>], inboxes: &mut [Vec<Option<Msg>>]) {
+    fn route_exchange(&mut self, outgoing: &mut [Option<Msg>], inboxes: &mut [Option<Msg>]) {
         // like `deliver`, routing precedes `account`, so `stats.rounds` is
         // the 0-based index of the round in flight
         let round = self.stats.rounds;
-        let Network { reverse, tracer, edge_of, faults, stats, metrics, .. } = self;
+        let g = self.g;
+        let Network { rev_slot, tracer, faults, stats, metrics, .. } = self;
+        let topo = Topo {
+            offsets: g.csr_offsets(),
+            neighbors: g.csr_neighbors(),
+            edge_ids: g.csr_edge_ids(),
+            rev_slot,
+        };
+        #[allow(clippy::single_range_in_vec_init)] // a 1-chunk partition, not a range literal
+        let chunks = [0..g.n()];
+        let mut sources = [&mut *outgoing];
         sweep(
             round,
             faults.as_ref(),
-            reverse,
-            edge_of,
+            topo,
             tracer,
             stats,
             metrics,
-            outgoing.iter_mut().enumerate(),
-            |u, q, msg| inboxes[u][q] = Some(msg),
+            &chunks,
+            &mut sources,
+            |_u, dest, msg| inboxes[dest] = Some(msg),
         );
     }
 
@@ -1496,8 +1593,12 @@ impl<'g> Network<'g> {
     }
 
     /// Neighbor vertex on `port` of `v`.
+    #[inline]
+    #[must_use]
     pub fn neighbor(&self, v: usize, port: usize) -> usize {
-        self.reverse[v][port].0
+        let row = self.g.row_range(v);
+        debug_assert!(port < row.len(), "port {port} out of range for vertex {v}");
+        self.g.csr_neighbors()[row.start + port] as usize
     }
 
     /// Port of `v` that leads to neighbor `u`, if adjacent.
@@ -1533,7 +1634,7 @@ impl<'g> Network<'g> {
     /// Only state that carries information across rounds is serialized:
     /// the `pending` grid travels, the spare buffer pools do not (they are
     /// all-`None` between rounds by the pool invariant and are rebuilt
-    /// fresh on resume), and `reverse`/`edge_of` are pure functions of the
+    /// fresh on resume), and `rev_slot` is a pure function of the
     /// graph. A fault schedule is stored as its *plan* — drop coins are
     /// keyed by `(round, edge)` and the round counter is in `STAT`, so
     /// plan + counter is complete fault progress. The metrics section
@@ -1548,7 +1649,19 @@ impl<'g> Network<'g> {
         w.state_section("MODL", &self.model);
         w.state_section("EXEC", &self.exec);
         w.state_section("STAT", &self.stats);
-        w.state_section("PEND", &self.pending);
+        // the flat arena is written in the wire shape of the historical
+        // nested grid (row count, then per row its length and slots), so
+        // snapshots stay byte-compatible across the CSR change
+        let mut pend = Enc::new();
+        pend.usize(self.g.n());
+        for v in 0..self.g.n() {
+            let row = &self.pending[self.g.row_range(v)];
+            pend.usize(row.len());
+            for slot in row {
+                slot.encode(&mut pend);
+            }
+        }
+        w.section("PEND", pend.into_bytes());
         let plan: Option<FaultPlan> = self.faults.as_ref().map(|f| f.plan().clone());
         w.state_section("FLTS", &plan);
         let mut trce = Enc::new();
@@ -1606,14 +1719,28 @@ impl<'g> Network<'g> {
         let model: Model = r.state_section("MODL")?;
         let exec: ExecConfig = r.state_section("EXEC")?;
         let stats: RoundStats = r.state_section("STAT")?;
-        let pending: Vec<Vec<Option<Msg>>> = r.state_section("PEND")?;
-        if pending.len() != g.n()
-            || pending.iter().enumerate().any(|(v, row)| row.len() != g.degree(v))
-        {
+        // inverse of the writer: the wire format is the historical nested
+        // grid, decoded row by row straight into the flat arena
+        let mut pend = Dec::new("PEND", r.section("PEND")?);
+        let rows = pend.usize()?;
+        if rows != g.n() {
             return Err(SnapshotError::Corrupt {
                 detail: "pending grid shape does not match the graph".to_string(),
             });
         }
+        let mut pending: Grid = vec![None; g.slots()];
+        for v in 0..g.n() {
+            let deg = pend.usize()?;
+            if deg != g.degree(v) {
+                return Err(SnapshotError::Corrupt {
+                    detail: "pending grid shape does not match the graph".to_string(),
+                });
+            }
+            for slot in &mut pending[g.row_range(v)] {
+                *slot = Option::<Msg>::decode(&mut pend)?;
+            }
+        }
+        pend.finish()?;
         let plan: Option<FaultPlan> = r.state_section("FLTS")?;
         if let Some(p) = &plan {
             if p.link_failures.iter().any(|l| l.edge >= g.m())
@@ -1663,11 +1790,6 @@ impl<'g> Network<'g> {
         net.pending = pending;
         net.set_fault_plan(plan); // recompiles FaultState from the plan
         if let Some(t) = tracer {
-            if t.records_edge_loads() && net.edge_of.is_empty() {
-                net.edge_of = (0..g.n())
-                    .map(|v| g.neighbors(v).map(|(_, e)| e).collect())
-                    .collect();
-            }
             // direct field set: `attach_tracer` would re-bind the topology
             // and reset the restored per-edge loads
             net.tracer = Some(t);

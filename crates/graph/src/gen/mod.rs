@@ -5,11 +5,13 @@
 //! [`seeded_rng`] for reproducible experiments.
 
 mod classic;
+mod huge;
 mod planar;
 mod random;
 mod treelike;
 
 pub use classic::{complete, complete_bipartite, cycle, grid, hypercube, path, star, torus_grid, torus_with_handles, triangulated_grid};
+pub use huge::{bounded_arboricity, grid_with_noise, power_law};
 pub use planar::{outerplanar_maximal, random_planar, stacked_triangulation};
 pub use random::{disjoint_cliques, erdos_renyi, gnm, random_bipartite, subsample_connected, subsample_edges};
 pub use treelike::{ktree, partial_ktree, random_tree, series_parallel};

@@ -49,12 +49,56 @@ pub struct Graph {
     n: usize,
     /// Edge endpoints with `u < v`, indexed by edge id.
     edges: Vec<(u32, u32)>,
-    /// `adj[v]` lists `(neighbor, edge_id)` pairs sorted by neighbor.
-    adj: Vec<Vec<(u32, u32)>>,
+    /// CSR row starts: vertex `v`'s adjacency row occupies the *slots*
+    /// `offsets[v]..offsets[v + 1]` of `neighbors`/`edge_ids`. Length
+    /// `n + 1`; `offsets[n]` equals `2m` (every edge contributes one slot
+    /// per endpoint).
+    offsets: Vec<u32>,
+    /// Flat neighbor array: `neighbors[s]` is the neighbor at slot `s`.
+    /// Each row is sorted by neighbor, so per-row binary search works.
+    neighbors: Vec<u32>,
+    /// Flat edge-id array, parallel to `neighbors`: `edge_ids[s]` is the
+    /// id of the edge connecting the row's vertex to `neighbors[s]`.
+    edge_ids: Vec<u32>,
     /// Optional positive integer edge weights (paper assumes `w(e) ≥ 1`).
     weights: Option<Vec<u64>>,
     /// Optional correlation-clustering labels.
     labels: Option<Vec<Sign>>,
+}
+
+/// Builds the CSR arrays from a sorted, deduplicated edge list in one
+/// counting pass plus one fill pass.
+///
+/// Rows come out sorted by neighbor without any per-row sort: with edges
+/// sorted lexicographically and `u < v` per edge, row `w` first receives
+/// its smaller neighbors (from edges `(u, w)`, visited in increasing `u`)
+/// and then its larger neighbors (from the contiguous `(w, x)` block, in
+/// increasing `x`).
+fn build_csr(n: usize, edges: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let slots = edges.len() * 2;
+    assert!(slots <= u32::MAX as usize, "edge slot count exceeds u32 range");
+    let mut offsets = vec![0u32; n + 1];
+    for &(u, v) in edges {
+        offsets[u as usize + 1] += 1;
+        offsets[v as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    let mut neighbors = vec![0u32; slots];
+    let mut edge_ids = vec![0u32; slots];
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        let su = cursor[u as usize] as usize;
+        cursor[u as usize] += 1;
+        neighbors[su] = v;
+        edge_ids[su] = e as u32;
+        let sv = cursor[v as usize] as usize;
+        cursor[v as usize] += 1;
+        neighbors[sv] = u;
+        edge_ids[sv] = e as u32;
+    }
+    (offsets, neighbors, edge_ids)
 }
 
 // Hand-written serde impls (the vendored serde stand-in has no derive);
@@ -85,10 +129,11 @@ impl Deserialize for Sign {
 
 impl Serialize for Graph {
     fn to_value(&self) -> Value {
+        // The CSR arrays are derived data: serializing the edge list alone
+        // keeps the wire format minimal and lets `from_value` rebuild them.
         Value::object([
             ("n".to_string(), self.n.to_value()),
             ("edges".to_string(), self.edges.to_value()),
-            ("adj".to_string(), self.adj.to_value()),
             ("weights".to_string(), self.weights.to_value()),
             ("labels".to_string(), self.labels.to_value()),
         ])
@@ -98,10 +143,20 @@ impl Serialize for Graph {
 impl Deserialize for Graph {
     fn from_value(v: &Value) -> Result<Self, serde::Error> {
         let field = |k: &str| v.get(k).ok_or_else(|| serde::Error::msg(format!("missing field `{k}`")));
+        let n = usize::from_value(field("n")?)?;
+        let edges: Vec<(u32, u32)> = Vec::from_value(field("edges")?)?;
+        if edges.iter().any(|&(u, v)| u >= v || (v as usize) >= n)
+            || edges.windows(2).any(|w| w[0] >= w[1])
+        {
+            return Err(serde::Error::msg("edge list is not simple/sorted or out of range"));
+        }
+        let (offsets, neighbors, edge_ids) = build_csr(n, &edges);
         Ok(Graph {
-            n: usize::from_value(field("n")?)?,
-            edges: Vec::from_value(field("edges")?)?,
-            adj: Vec::from_value(field("adj")?)?,
+            n,
+            edges,
+            offsets,
+            neighbors,
+            edge_ids,
             weights: Option::from_value(field("weights")?)?,
             labels: Option::from_value(field("labels")?)?,
         })
@@ -121,13 +176,25 @@ impl fmt::Debug for Graph {
 
 impl Graph {
     /// Number of vertices.
+    #[inline]
+    #[must_use]
     pub fn n(&self) -> usize {
         self.n
     }
 
     /// Number of edges.
+    #[inline]
+    #[must_use]
     pub fn m(&self) -> usize {
         self.edges.len()
+    }
+
+    /// Number of CSR slots (`2m`): one per directed edge occurrence. This
+    /// is the length of the flat arenas a per-slot side array must have.
+    #[inline]
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.neighbors.len()
     }
 
     /// Degree of vertex `v`.
@@ -135,8 +202,61 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `v >= n`.
+    #[inline]
+    #[must_use]
     pub fn degree(&self, v: usize) -> usize {
-        self.adj[v].len()
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Slot range of vertex `v`'s CSR row within the flat arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    #[must_use]
+    pub fn row_range(&self, v: usize) -> std::ops::Range<usize> {
+        self.offsets[v] as usize..self.offsets[v + 1] as usize
+    }
+
+    /// Row-slice fast path: the neighbors of `v` as one contiguous slice,
+    /// sorted ascending. One bounds check per row instead of one per
+    /// element; the delivery loop iterates this directly.
+    #[inline]
+    #[must_use]
+    pub fn neighbor_row(&self, v: usize) -> &[u32] {
+        debug_assert!(v < self.n, "vertex {v} out of range (n = {})", self.n);
+        &self.neighbors[self.row_range(v)]
+    }
+
+    /// Row-slice fast path: the edge ids of `v`'s row, parallel to
+    /// [`Graph::neighbor_row`].
+    #[inline]
+    #[must_use]
+    pub fn edge_id_row(&self, v: usize) -> &[u32] {
+        debug_assert!(v < self.n, "vertex {v} out of range (n = {})", self.n);
+        &self.edge_ids[self.row_range(v)]
+    }
+
+    /// The full CSR offset array (`n + 1` entries, last is `2m`).
+    #[inline]
+    #[must_use]
+    pub fn csr_offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The full flat neighbor array (`2m` entries, rows sorted).
+    #[inline]
+    #[must_use]
+    pub fn csr_neighbors(&self) -> &[u32] {
+        &self.neighbors
+    }
+
+    /// The full flat edge-id array, parallel to [`Graph::csr_neighbors`].
+    #[inline]
+    #[must_use]
+    pub fn csr_edge_ids(&self) -> &[u32] {
+        &self.edge_ids
     }
 
     /// Maximum degree Δ of the graph (0 for the empty graph).
@@ -150,13 +270,18 @@ impl Graph {
     }
 
     /// Iterator over `(neighbor, edge_id)` pairs of `v`, sorted by neighbor.
+    #[inline]
     pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.adj[v].iter().map(|&(u, e)| (u as usize, e as usize))
+        self.neighbor_row(v)
+            .iter()
+            .zip(self.edge_id_row(v))
+            .map(|(&u, &e)| (u as usize, e as usize))
     }
 
     /// Iterator over the neighbor vertices of `v` (without edge ids).
+    #[inline]
     pub fn neighbor_vertices(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
-        self.adj[v].iter().map(|&(u, _)| u as usize)
+        self.neighbor_row(v).iter().map(|&u| u as usize)
     }
 
     /// Endpoints `(u, v)` with `u < v` of the edge with id `e`.
@@ -177,19 +302,29 @@ impl Graph {
             .map(|(e, &(u, v))| (e, u as usize, v as usize))
     }
 
+    /// Edge id of the edge `{u, v}`, if present: binary search on the
+    /// sorted CSR row of the lower endpoint.
+    #[inline]
+    #[must_use]
+    pub fn edge_between(&self, u: usize, v: usize) -> Option<usize> {
+        let a = u.min(v);
+        let b = u.max(v) as u32;
+        let row = self.neighbor_row(a);
+        row.binary_search(&b).ok().map(|i| self.edge_id_row(a)[i] as usize)
+    }
+
     /// Edge id of the edge `{u, v}`, if present.
+    #[inline]
+    #[must_use]
     pub fn edge_id(&self, u: usize, v: usize) -> Option<usize> {
-        let (a, b) = (u.min(v) as u32, u.max(v) as u32);
-        // adjacency lists are sorted by neighbor, so binary search works.
-        let list = &self.adj[a as usize];
-        list.binary_search_by_key(&b, |&(w, _)| w)
-            .ok()
-            .map(|i| list[i].1 as usize)
+        self.edge_between(u, v)
     }
 
     /// Returns `true` if `{u, v}` is an edge.
+    #[inline]
+    #[must_use]
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.edge_id(u, v).is_some()
+        self.edge_between(u, v).is_some()
     }
 
     /// Weight of edge `e` (1 if the graph is unweighted).
@@ -556,23 +691,20 @@ impl GraphBuilder {
         self
     }
 
-    /// Finalizes the graph, deduplicating edges and sorting adjacency lists.
+    /// Finalizes the graph: sorts and deduplicates the edge list, then
+    /// builds the flat CSR adjacency in a single counting + fill pass
+    /// (rows come out sorted for free; see [`build_csr`]).
     pub fn build(self) -> Graph {
         let mut edges = self.edges;
         edges.sort_unstable();
         edges.dedup();
-        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.n];
-        for (e, &(u, v)) in edges.iter().enumerate() {
-            adj[u as usize].push((v, e as u32));
-            adj[v as usize].push((u, e as u32));
-        }
-        for list in &mut adj {
-            list.sort_unstable();
-        }
+        let (offsets, neighbors, edge_ids) = build_csr(self.n, &edges);
         Graph {
             n: self.n,
             edges,
-            adj,
+            offsets,
+            neighbors,
+            edge_ids,
             weights: None,
             labels: None,
         }

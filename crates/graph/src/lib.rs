@@ -30,6 +30,7 @@
 pub mod arboricity;
 pub mod gen;
 mod graph;
+pub mod io;
 pub mod minor;
 pub mod orientation;
 pub mod planarity;

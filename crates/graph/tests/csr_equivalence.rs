@@ -1,0 +1,119 @@
+//! CSR ↔ legacy-adjacency equivalence suite.
+//!
+//! The graph core stores adjacency as flat CSR arrays (`offsets` /
+//! `neighbors` / `edge_ids`) built in one pass from the sorted edge list.
+//! This suite keeps the *old* nested `Vec<Vec<(u32, u32)>>` builder alive
+//! as a test-only reference implementation and checks, on random edge
+//! lists, that both constructions agree on every observable: degrees,
+//! sorted neighbor sets, edge ids, and the binary-search edge lookup.
+
+use lcg_graph::{Graph, GraphBuilder};
+use proptest::prelude::*;
+
+/// The pre-CSR adjacency construction, verbatim: dedup the sorted edge
+/// list, push both directions into nested rows, sort each row.
+struct LegacyAdjacency {
+    edges: Vec<(u32, u32)>,
+    adj: Vec<Vec<(u32, u32)>>,
+}
+
+impl LegacyAdjacency {
+    fn build(n: usize, raw: &[(usize, usize)]) -> LegacyAdjacency {
+        let mut edges: Vec<(u32, u32)> = raw
+            .iter()
+            .map(|&(u, v)| (u.min(v) as u32, u.max(v) as u32))
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            adj[u as usize].push((v, e as u32));
+            adj[v as usize].push((u, e as u32));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        LegacyAdjacency { edges, adj }
+    }
+}
+
+fn csr_graph(n: usize, raw: &[(usize, usize)]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in raw {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Random simple-graph edge lists with duplicates (the builder dedups) on
+/// 2..=40 vertices.
+fn edge_lists() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..=40).prop_flat_map(|n| {
+        // self-loop-free by construction: v = (u + d) mod n with d ≥ 1
+        let edge = (0..n, 1..n).prop_map(move |(u, d)| (u, (u + d) % n));
+        (Just(n), proptest::collection::vec(edge, 0..=120))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Degrees, row contents (neighbor and edge id, in row order), and the
+    /// edge-id lookup must be identical between the nested reference and
+    /// the CSR build.
+    #[test]
+    fn csr_agrees_with_legacy_adjacency((n, raw) in edge_lists()) {
+        let legacy = LegacyAdjacency::build(n, &raw);
+        let g = csr_graph(n, &raw);
+
+        prop_assert_eq!(g.n(), n);
+        prop_assert_eq!(g.m(), legacy.edges.len());
+        prop_assert_eq!(g.slots(), 2 * legacy.edges.len());
+
+        for v in 0..n {
+            prop_assert_eq!(g.degree(v), legacy.adj[v].len());
+            let row: Vec<(usize, usize)> = g.neighbors(v).collect();
+            let expect: Vec<(usize, usize)> =
+                legacy.adj[v].iter().map(|&(u, e)| (u as usize, e as usize)).collect();
+            prop_assert_eq!(&row, &expect, "row of vertex {}", v);
+            // rows must be sorted by neighbor (binary-search invariant)
+            prop_assert!(g.neighbor_row(v).windows(2).all(|w| w[0] < w[1]));
+            // flat-arena slot addressing matches the iterator view
+            let range = g.row_range(v);
+            prop_assert_eq!(range.len(), g.degree(v));
+            for (i, s) in range.enumerate() {
+                prop_assert_eq!(g.csr_neighbors()[s] as usize, row[i].0);
+                prop_assert_eq!(g.csr_edge_ids()[s] as usize, row[i].1);
+            }
+        }
+
+        // edge lookup agrees with the reference edge list, both ways
+        for (e, &(u, v)) in legacy.edges.iter().enumerate() {
+            prop_assert_eq!(g.edge_between(u as usize, v as usize), Some(e));
+            prop_assert_eq!(g.edge_between(v as usize, u as usize), Some(e));
+            prop_assert_eq!(g.endpoints(e), (u as usize, v as usize));
+        }
+
+        // absent pairs stay absent
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !legacy.edges.contains(&(u as u32, v as u32)) {
+                    prop_assert_eq!(g.edge_between(u, v), None);
+                }
+            }
+        }
+    }
+
+    /// Serialize → deserialize reproduces the identical CSR arrays.
+    #[test]
+    fn csr_survives_serde_roundtrip((n, raw) in edge_lists()) {
+        use serde::{Deserialize, Serialize};
+        let g = csr_graph(n, &raw);
+        let v = g.to_value();
+        let h = Graph::from_value(&v).expect("roundtrip decodes");
+        prop_assert_eq!(g.n(), h.n());
+        prop_assert_eq!(g.csr_offsets(), h.csr_offsets());
+        prop_assert_eq!(g.csr_neighbors(), h.csr_neighbors());
+        prop_assert_eq!(g.csr_edge_ids(), h.csr_edge_ids());
+    }
+}
